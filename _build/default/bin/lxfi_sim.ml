@@ -1,0 +1,332 @@
+(* lxfi_sim — command-line driver for the LXFI reproduction.
+
+     lxfi_sim exploit [NAME] [--mode MODE]   run CVE exploits
+     lxfi_sim netperf [--pkts N]             Figure 12 rows
+     lxfi_sim micro [--no-opt]               Figure 11 rows
+     lxfi_sim modules                        corpus + annotation effort
+     lxfi_sim annotations                    the annotated kernel API
+     lxfi_sim dump MODULE [--mode MODE]      instrumented MIR of a module
+*)
+
+open Cmdliner
+open Kmodules
+module R = Workloads.Report
+
+let mode_conv =
+  let parse = function
+    | "stock" -> Ok Lxfi.Config.stock
+    | "xfi" -> Ok Lxfi.Config.xfi
+    | "lxfi" -> Ok Lxfi.Config.lxfi
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (stock|xfi|lxfi)" s))
+  in
+  let print ppf c = Fmt.string ppf (Lxfi.Config.mode_name c.Lxfi.Config.mode) in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (some mode_conv) None
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Enforcement mode: stock, xfi or lxfi.")
+
+(* ---- exploit ---- *)
+
+let exploit_cmd =
+  let name_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Exploit to run (CAN_BCM, Econet, RDS, RDS(w), Rootkit, ...); all if omitted.")
+  in
+  let run name mode =
+    Kernel_sim.Klog.quiet ();
+    let selected =
+      match name with
+      | None -> Exploits.Pid_rootkit.all
+      | Some n -> (
+          match
+            List.find_opt
+              (fun (e : Exploits.Exploit.t) ->
+                String.lowercase_ascii e.Exploits.Exploit.name = String.lowercase_ascii n)
+              Exploits.Pid_rootkit.all
+          with
+          | Some e -> [ e ]
+          | None ->
+              Fmt.epr "unknown exploit %s@." n;
+              exit 1)
+    in
+    let modes =
+      match mode with
+      | Some m -> [ m ]
+      | None -> [ Lxfi.Config.stock; Lxfi.Config.xfi; Lxfi.Config.lxfi ]
+    in
+    List.iter
+      (fun e ->
+        List.iter
+          (fun m ->
+            let r = Exploits.Exploit.run_in_mode e m in
+            Fmt.pr "%a@." Exploits.Exploit.pp_result r)
+          modes)
+      selected
+  in
+  Cmd.v
+    (Cmd.info "exploit" ~doc:"Run the CVE exploit reproductions (Figure 8).")
+    Term.(const run $ name_arg $ mode_arg)
+
+(* ---- netperf ---- *)
+
+let netperf_cmd =
+  let pkts =
+    Arg.(value & opt int 4000 & info [ "pkts" ] ~doc:"Packets per measurement.")
+  in
+  let run pkts =
+    Kernel_sim.Klog.quiet ();
+    let rows = Workloads.Netperf_sim.figure12 ~pkts () in
+    R.table ~title:"netperf (Figure 12)"
+      ~header:[ "Test"; "stock"; "LXFI"; "cpu"; "cpu(LXFI)" ]
+      (List.map
+         (fun (r : Workloads.Netperf_sim.row) ->
+           let fmt v =
+             if r.Workloads.Netperf_sim.r_unit = "Mbit/s" then Printf.sprintf "%.0f Mbit/s" v
+             else if v >= 1e6 then Printf.sprintf "%.2fM/s" (v /. 1e6)
+             else Printf.sprintf "%.1fK/s" (v /. 1e3)
+           in
+           [
+             r.Workloads.Netperf_sim.r_test;
+             fmt r.Workloads.Netperf_sim.r_stock;
+             fmt r.Workloads.Netperf_sim.r_lxfi;
+             R.pct r.Workloads.Netperf_sim.r_stock_cpu;
+             R.pct r.Workloads.Netperf_sim.r_lxfi_cpu;
+           ])
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "netperf" ~doc:"Run the netperf simulation (Figure 12).")
+    Term.(const run $ pkts)
+
+(* ---- micro ---- *)
+
+let micro_cmd =
+  let noopt =
+    Arg.(value & flag & info [ "no-opt" ] ~doc:"Disable rewriter optimizations.")
+  in
+  let run noopt =
+    Kernel_sim.Klog.quiet ();
+    let config =
+      if noopt then
+        {
+          Lxfi.Config.lxfi with
+          Lxfi.Config.opt_elide_safe_writes = false;
+          opt_inline_trivial = false;
+        }
+      else Lxfi.Config.lxfi
+    in
+    R.table ~title:"SFI microbenchmarks (Figure 11)"
+      ~header:[ "Benchmark"; "dCode"; "slowdown" ]
+      (List.map
+         (fun (r : Workloads.Microbench.result) ->
+           [
+             r.Workloads.Microbench.b_name;
+             Printf.sprintf "%.2fx" r.Workloads.Microbench.b_code_ratio;
+             R.pct1 r.Workloads.Microbench.b_slowdown;
+           ])
+         (Workloads.Microbench.all ~config_lxfi:config ()))
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Run the SFI microbenchmarks (Figure 11).")
+    Term.(const run $ noopt)
+
+(* ---- modules ---- *)
+
+let modules_cmd =
+  let run () =
+    Kernel_sim.Klog.quiet ();
+    let sys = Ksys.boot Lxfi.Config.lxfi in
+    let rows, total_fn, total_fp = Catalog.annotation_effort sys in
+    R.table ~title:"module corpus and annotation effort (Figure 9)"
+      ~header:[ "Category"; "Module"; "#fn"; "uniq"; "#fptr"; "uniq" ]
+      (List.map
+         (fun (r : Catalog.effort_row) ->
+           [
+             r.Catalog.e_category;
+             r.Catalog.e_module;
+             string_of_int r.Catalog.e_functions_all;
+             string_of_int r.Catalog.e_functions_unique;
+             string_of_int r.Catalog.e_fptrs_all;
+             string_of_int r.Catalog.e_fptrs_unique;
+           ])
+         rows
+      @ [ [ ""; "Total (distinct)"; string_of_int total_fn; ""; string_of_int total_fp; "" ] ])
+  in
+  Cmd.v
+    (Cmd.info "modules" ~doc:"List the ten-module corpus and annotation effort.")
+    Term.(const run $ const ())
+
+(* ---- annotations ---- *)
+
+let annotations_cmd =
+  let run () =
+    Kernel_sim.Klog.quiet ();
+    let sys = Ksys.boot Lxfi.Config.lxfi in
+    let rt = sys.Ksys.rt in
+    Fmt.pr "== function-pointer slot types ==@.";
+    List.iter
+      (fun (s : Annot.Registry.slot) ->
+        Fmt.pr "  %-36s (%s)@.      %s@." s.Annot.Registry.sl_name
+          (String.concat ", " s.Annot.Registry.sl_params)
+          (match Annot.Ast.to_string s.Annot.Registry.sl_annot with
+          | "" -> "(no contract)"
+          | a -> a))
+      (Annot.Registry.all rt.Lxfi.Runtime.registry);
+    Fmt.pr "@.== annotated kernel exports ==@.";
+    Hashtbl.fold (fun name ke acc -> (name, ke) :: acc) rt.Lxfi.Runtime.kexports []
+    |> List.sort compare
+    |> List.iter (fun (name, (ke : Lxfi.Runtime.kexport)) ->
+           Fmt.pr "  %-28s (%s)@.      %s@." name
+             (String.concat ", " ke.Lxfi.Runtime.ke_params)
+             (match Annot.Ast.to_string ke.Lxfi.Runtime.ke_annot with
+             | "" -> "(no contract)"
+             | a -> a))
+  in
+  Cmd.v
+    (Cmd.info "annotations" ~doc:"Dump the annotated kernel API surface.")
+    Term.(const run $ const ())
+
+(* ---- state ---- *)
+
+let state_cmd =
+  let run () =
+    Kernel_sim.Klog.quiet ();
+    (* boot a representative system, run some traffic, dump LXFI state *)
+    let sys = Ksys.boot Lxfi.Config.lxfi in
+    let pcidev, nic = Ksys.add_nic sys ~vendor:E1000.vendor ~device:E1000.device in
+    List.iter
+      (fun spec -> ignore (Mod_common.install sys spec))
+      [ E1000.spec; Rds.spec; Dm_crypt.spec ];
+    ignore
+      (Result.get_ok
+         (Kernel_sim.Blockdev.dm_create sys.Ksys.blk ~target:"crypt" ~name:"c0"
+            ~len:1024 ~arg:7));
+    ignore (Kernel_sim.Sockets.sys_socket sys.Ksys.sock ~family:Kernel_sim.Sockets.af_rds ~typ:2);
+    let dev = Kernel_sim.Pci.pci_get_drvdata sys.Ksys.pci pcidev in
+    for _ = 1 to 4 do
+      let skb = Kernel_sim.Skbuff.alloc sys.Ksys.kst 64 in
+      Kernel_sim.Skbuff.set_dev sys.Ksys.kst skb dev;
+      ignore (Kernel_sim.Netdev.dev_queue_xmit sys.Ksys.net skb)
+    done;
+    ignore (Kernel_sim.Nic.drain_tx nic);
+    print_string (Lxfi.Inspect.to_string sys.Ksys.rt)
+  in
+  Cmd.v
+    (Cmd.info "state"
+       ~doc:"Boot a demo system, run traffic, and dump LXFI's principal and \
+             capability state.")
+    Term.(const run $ const ())
+
+(* ---- dump ---- *)
+
+let dump_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"MODULE" ~doc:"Module name (e.g. e1000, rds, can_bcm).")
+  in
+  let run name mode =
+    Kernel_sim.Klog.quiet ();
+    let config = Option.value ~default:Lxfi.Config.lxfi mode in
+    let sys = Ksys.boot config in
+    match Catalog.find name with
+    | None ->
+        Fmt.epr "unknown module %s (try: %s)@." name
+          (String.concat ", " (List.map (fun s -> s.Mod_common.name) Catalog.all));
+        exit 1
+    | Some spec ->
+        let prog = spec.Mod_common.make sys in
+        let prog, report = Lxfi.Rewriter.instrument config prog in
+        Fmt.pr "/* %s, %s mode: %a */@.@.%a@." name
+          (Lxfi.Config.mode_name config.Lxfi.Config.mode)
+          Lxfi.Rewriter.pp_report report Mir.Printer.pp_prog prog
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print a module's (instrumented) MIR.")
+    Term.(const run $ name_arg $ mode_arg)
+
+(* ---- runmod ---- *)
+
+let runmod_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Textual MIR module (see 'lxfi_sim dump' for the syntax).")
+  in
+  let entry_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "e"; "entry" ] ~docv:"FUNC"
+          ~doc:"Function to invoke after module_init; mark it 'exports cli.entry' \
+                in the source so the kernel may call it under LXFI.")
+  in
+  let args_arg =
+    Arg.(
+      value & opt (list int64) []
+      & info [ "a"; "args" ] ~docv:"INTS" ~doc:"Comma-separated integer arguments.")
+  in
+  let run file entry args mode =
+    Kernel_sim.Klog.quiet ();
+    let config = Option.value ~default:Lxfi.Config.lxfi mode in
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Mir.Parser.parse_result src with
+    | Error e ->
+        Fmt.epr "%s: %s@." file e;
+        exit 1
+    | Ok prog -> (
+        let sys = Ksys.boot config in
+        if not (Annot.Registry.mem sys.Ksys.rt.Lxfi.Runtime.registry "cli.entry") then
+          ignore
+            (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:"cli.entry"
+               ~params:[] ~annot:"");
+        match Ksys.load sys prog with
+        | exception Lxfi.Loader.Load_error e ->
+            Fmt.epr "load error: %s@." e;
+            exit 1
+        | exception Lxfi.Rewriter.Rewrite_error e ->
+            Fmt.epr "rewrite error: %s@." e;
+            exit 1
+        | mi, report ->
+            Fmt.pr "loaded %s under %s: %a@." prog.Mir.Ast.pname
+              (Lxfi.Config.mode_name config.Lxfi.Config.mode)
+              Lxfi.Rewriter.pp_report report;
+            let call what f a =
+              match f () with
+              | r -> Fmt.pr "%s returned %Ld@." what r
+              | exception Lxfi.Violation.Violation v ->
+                  Fmt.pr "%s: %a@." what Lxfi.Violation.pp v;
+                  ignore a
+              | exception Kernel_sim.Kstate.Oops m -> Fmt.pr "%s: kernel oops: %s@." what m
+              | exception Kernel_sim.Kmem.Fault { addr; write } ->
+                  Fmt.pr "%s: fault (%s 0x%x)@." what (if write then "write" else "read") addr
+            in
+            if Mir.Ast.find_func prog "module_init" <> None then
+              call "module_init"
+                (fun () -> Lxfi.Loader.init_call sys.Ksys.rt mi "module_init" [])
+                ();
+            (match entry with
+            | None -> ()
+            | Some e ->
+                call e
+                  (fun () -> Lxfi.Runtime.invoke_module_function sys.Ksys.rt mi e args)
+                  ());
+            Fmt.pr "%a@." Lxfi.Stats.pp sys.Ksys.rt.Lxfi.Runtime.stats)
+  in
+  Cmd.v
+    (Cmd.info "runmod" ~doc:"Load and run a textual MIR module under LXFI.")
+    Term.(const run $ file_arg $ entry_arg $ args_arg $ mode_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "lxfi_sim" ~version:"1.0"
+             ~doc:"LXFI (SOSP 2011) reproduction: SFI with API integrity and \
+                   multi-principal kernel modules.")
+          [ exploit_cmd; netperf_cmd; micro_cmd; modules_cmd; annotations_cmd; state_cmd; dump_cmd; runmod_cmd ]))

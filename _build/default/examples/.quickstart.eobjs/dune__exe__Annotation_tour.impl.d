@@ -1,0 +1,1 @@
+examples/annotation_tour.ml: Annot E1000 Fmt Format Hashtbl Kernel_sim Klog Kmodules Ksys List Lxfi Mod_common Netdev Pci Skbuff

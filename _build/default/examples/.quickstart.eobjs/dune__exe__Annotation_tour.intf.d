@@ -1,0 +1,1 @@
+examples/annotation_tour.mli:

@@ -1,0 +1,1 @@
+examples/netdriver_principals.ml: Blockdev Dm_crypt E1000 Format Hashtbl Kernel_sim Klog Kmem Kmodules Kstate Ksys Ktypes Lxfi Mod_common Netdev Nic Option Pci Result Skbuff

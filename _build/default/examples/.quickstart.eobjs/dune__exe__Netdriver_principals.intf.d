@@ -1,0 +1,1 @@
+examples/netdriver_principals.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Annot Fmt Format Kernel_sim Klog Kmodules Kstate Ksys Lxfi Mir Task

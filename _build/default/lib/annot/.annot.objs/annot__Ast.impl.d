@@ -1,0 +1,1 @@
+lib/annot/ast.ml: Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/annot/hash.ml: Ast Char Int64 String

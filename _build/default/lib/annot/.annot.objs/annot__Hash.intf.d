@@ -1,0 +1,1 @@
+lib/annot/hash.mli: Ast

@@ -1,0 +1,1 @@
+lib/annot/parser.ml: Ast Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/annot/parser.mli: Ast

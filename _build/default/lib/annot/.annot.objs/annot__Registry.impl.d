@@ -1,0 +1,1 @@
+lib/annot/registry.ml: Ast Hash Hashtbl List Parser Printf

@@ -1,0 +1,1 @@
+lib/annot/registry.mli: Ast Hashtbl

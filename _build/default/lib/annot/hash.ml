@@ -1,0 +1,32 @@
+(** Canonical annotation hashing (the [ahash] of §4.1).
+
+    The kernel rewriter inserts [lxfi_check_indcall(pptr, ahash)] before
+    every core-kernel indirect call, where [ahash] is the hash of the
+    annotation on the function-pointer {e type}; the runtime compares it
+    with the hash of the annotation on the module function actually
+    stored in the slot.  Equal hashes mean the module cannot launder a
+    function into a slot whose contract differs from the function's own
+    (e.g. storing a [sendmsg]-annotated function into an [ioctl] slot).
+
+    We hash the canonical printing with 64-bit FNV-1a. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a (s : string) : int64 =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+(** Hash of an annotation set; includes the parameter-name list so that
+    positionally different contracts do not collide. *)
+let of_annot ~params (t : Ast.t) : int64 =
+  fnv1a (String.concat "|" params ^ "##" ^ Ast.to_string t)
+
+(** Hash of the empty annotation set with unknown parameters — the
+    value checked against unannotated functions. *)
+let empty : int64 = fnv1a "##"

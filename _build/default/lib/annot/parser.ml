@@ -1,0 +1,315 @@
+(** Recursive-descent parser for the annotation language of Figure 2.
+
+    Annotations are written as strings attached to kernel exports and
+    function-pointer slot types, e.g.:
+
+    {v
+    principal(pcidev)
+    pre(copy(ref(struct pci_dev), pcidev))
+    post(if (return < 0) transfer(ref(struct pci_dev), pcidev))
+    pre(transfer(skb_caps(skb)))
+    pre(check(write, lock, 4))
+    v} *)
+
+open Ast
+
+type token =
+  | Tident of string
+  | Tint of int64
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Top of string  (** ==, !=, <, <=, >, >=, +, -, *, &&, || *)
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some s.[!i + k] else None in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (emit Tlparen; incr i)
+    else if c = ')' then (emit Trparen; incr i)
+    else if c = ',' then (emit Tcomma; incr i)
+    else if c = '=' && peek 1 = Some '=' then (emit (Top "=="); i := !i + 2)
+    else if c = '!' && peek 1 = Some '=' then (emit (Top "!="); i := !i + 2)
+    else if c = '<' && peek 1 = Some '=' then (emit (Top "<="); i := !i + 2)
+    else if c = '>' && peek 1 = Some '=' then (emit (Top ">="); i := !i + 2)
+    else if c = '&' && peek 1 = Some '&' then (emit (Top "&&"); i := !i + 2)
+    else if c = '|' && peek 1 = Some '|' then (emit (Top "||"); i := !i + 2)
+    else if c = '<' || c = '>' || c = '+' || c = '-' || c = '*' then
+      (emit (Top (String.make 1 c)); incr i)
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        j := !i + 2;
+        while !j < n && (is_ident_char s.[!j]) do incr j done
+      end
+      else while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      let text = String.sub s !i (!j - !i) in
+      (match Int64.of_string_opt text with
+      | Some v -> emit (Tint v)
+      | None -> fail "bad integer literal %S" text);
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      emit (Tident (String.sub s !i (!j - !i)));
+      i := !j
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !toks
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st = match st.toks with [] -> fail "unexpected end of annotation" | _ :: r -> st.toks <- r
+
+let expect st t =
+  match st.toks with
+  | x :: r when x = t -> st.toks <- r
+  | x :: _ ->
+      let show = function
+        | Tident s -> s
+        | Tint n -> Int64.to_string n
+        | Tlparen -> "("
+        | Trparen -> ")"
+        | Tcomma -> ","
+        | Top o -> o
+      in
+      fail "expected %s, found %s" (show t) (show x)
+  | [] -> fail "unexpected end of annotation"
+
+let ident st =
+  match st.toks with
+  | Tident s :: r ->
+      st.toks <- r;
+      s
+  | _ -> fail "expected identifier"
+
+(* c-expr precedence climbing *)
+let rec parse_or st =
+  let a = parse_and st in
+  match peek st with
+  | Some (Top "||") ->
+      advance st;
+      Cbin (Oor, a, parse_or st)
+  | _ -> a
+
+and parse_and st =
+  let a = parse_cmp st in
+  match peek st with
+  | Some (Top "&&") ->
+      advance st;
+      Cbin (Oand, a, parse_and st)
+  | _ -> a
+
+and parse_cmp st =
+  let a = parse_add st in
+  match peek st with
+  | Some (Top (("==" | "!=" | "<" | "<=" | ">" | ">=") as o)) ->
+      advance st;
+      let b = parse_add st in
+      let op =
+        match o with
+        | "==" -> Oeq
+        | "!=" -> One
+        | "<" -> Olt
+        | "<=" -> Ole
+        | ">" -> Ogt
+        | _ -> Oge
+      in
+      Cbin (op, a, b)
+  | _ -> a
+
+and parse_add st =
+  let rec go a =
+    match peek st with
+    | Some (Top "+") ->
+        advance st;
+        go (Cbin (Oadd, a, parse_mul st))
+    | Some (Top "-") ->
+        advance st;
+        go (Cbin (Osub, a, parse_mul st))
+    | _ -> a
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go a =
+    match peek st with
+    | Some (Top "*") ->
+        advance st;
+        go (Cbin (Omul, a, parse_atom st))
+    | _ -> a
+  in
+  go (parse_atom st)
+
+and parse_atom st =
+  match st.toks with
+  | Tint n :: r ->
+      st.toks <- r;
+      Cint n
+  | Top "-" :: r ->
+      st.toks <- r;
+      Cneg (parse_atom st)
+  | Tident "return" :: r ->
+      st.toks <- r;
+      Creturn
+  | Tident "sizeof" :: r ->
+      st.toks <- r;
+      expect st Tlparen;
+      (match ident st with
+      | "struct" ->
+          let s = ident st in
+          expect st Trparen;
+          Csizeof s
+      | other -> fail "sizeof expects 'struct <name>', got %s" other)
+  | Tident x :: r ->
+      st.toks <- r;
+      Cparam x
+  | Tlparen :: r ->
+      st.toks <- r;
+      let e = parse_or st in
+      expect st Trparen;
+      e
+  | _ -> fail "expected expression"
+
+let parse_captype st name =
+  match name with
+  | "write" -> Write
+  | "call" -> Call
+  | "ref" ->
+      expect st Tlparen;
+      (match ident st with
+      | "struct" ->
+          let s = ident st in
+          expect st Trparen;
+          Ref s
+      | (* allow special (non-struct) REF types per Guideline 3 *) other ->
+          expect st Trparen;
+          Ref other)
+  | other -> fail "unknown capability type %s" other
+
+(* caplist — already inside the enclosing parens of copy/transfer/check *)
+let parse_caplist st =
+  match st.toks with
+  | Tident (("write" | "call" | "ref") as ct) :: r ->
+      st.toks <- r;
+      let c = parse_captype st ct in
+      expect st Tcomma;
+      let ptr = parse_or st in
+      let size =
+        match peek st with
+        | Some Tcomma ->
+            advance st;
+            Some (parse_or st)
+        | _ -> None
+      in
+      Inline (c, ptr, size)
+  | Tident iter :: r ->
+      st.toks <- r;
+      expect st Tlparen;
+      let rec args acc =
+        match peek st with
+        | Some Trparen ->
+            advance st;
+            List.rev acc
+        | _ -> (
+            let e = parse_or st in
+            match peek st with
+            | Some Tcomma ->
+                advance st;
+                args (e :: acc)
+            | _ ->
+                expect st Trparen;
+                List.rev (e :: acc))
+      in
+      Iter (iter, args [])
+  | _ -> fail "expected capability list"
+
+let rec parse_action st =
+  match st.toks with
+  | Tident "copy" :: r ->
+      st.toks <- r;
+      expect st Tlparen;
+      let cl = parse_caplist st in
+      expect st Trparen;
+      Copy cl
+  | Tident "transfer" :: r ->
+      st.toks <- r;
+      expect st Tlparen;
+      let cl = parse_caplist st in
+      expect st Trparen;
+      Transfer cl
+  | Tident "check" :: r ->
+      st.toks <- r;
+      expect st Tlparen;
+      let cl = parse_caplist st in
+      expect st Trparen;
+      Check cl
+  | Tident "if" :: r ->
+      st.toks <- r;
+      expect st Tlparen;
+      let c = parse_or st in
+      expect st Trparen;
+      let a = parse_action st in
+      Cif (c, a)
+  | _ -> fail "expected action (copy/transfer/check/if)"
+
+let parse_clause st =
+  match st.toks with
+  | Tident "pre" :: r ->
+      st.toks <- r;
+      expect st Tlparen;
+      let a = parse_action st in
+      expect st Trparen;
+      Pre a
+  | Tident "post" :: r ->
+      st.toks <- r;
+      expect st Tlparen;
+      let a = parse_action st in
+      expect st Trparen;
+      Post a
+  | Tident "principal" :: r -> (
+      st.toks <- r;
+      expect st Tlparen;
+      match st.toks with
+      | Tident "global" :: r2 ->
+          st.toks <- r2;
+          expect st Trparen;
+          Principal Pglobal
+      | Tident "shared" :: r2 ->
+          st.toks <- r2;
+          expect st Trparen;
+          Principal Pshared
+      | _ ->
+          let e = parse_or st in
+          expect st Trparen;
+          Principal (Pexpr e))
+  | _ -> fail "expected clause (pre/post/principal)"
+
+(** [parse s] parses a whitespace-separated sequence of clauses. *)
+let parse (s : string) : (t, string) result =
+  try
+    let st = { toks = tokenize s } in
+    let rec clauses acc =
+      match st.toks with [] -> List.rev acc | _ -> clauses (parse_clause st :: acc)
+    in
+    Ok (clauses [])
+  with Parse_error msg -> Error (Printf.sprintf "annotation %S: %s" s msg)
+
+let parse_exn s =
+  match parse s with Ok t -> t | Error msg -> invalid_arg msg

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the annotation language of paper
+    Figure 2.  Annotations are whitespace-separated clause sequences:
+
+    {v
+    principal(pcidev)
+    pre(copy(ref(struct pci_dev), pcidev))
+    post(if (return < 0) transfer(ref(struct pci_dev), pcidev))
+    pre(transfer(skb_caps(skb)))
+    pre(check(write, lock, 4))
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> (Ast.t, string) result
+val parse_exn : string -> Ast.t
+(** Raises [Invalid_argument] with the parse error. *)

@@ -1,0 +1,51 @@
+(** Registry of annotated function-pointer slot types.
+
+    A {e slot type} names a function-pointer position in a kernel
+    interface — e.g. ["proto_ops.ioctl"] or
+    ["net_device_ops.ndo_start_xmit"] — together with its parameter
+    names and its annotation set.  Kernel indirect-call sites pass the
+    slot-type name; the LXFI runtime resolves it here to obtain the
+    expected annotation hash and the contract to enforce around the
+    call. *)
+
+type slot = {
+  sl_name : string;
+  sl_params : string list;  (** parameter names, excluding the return value *)
+  sl_annot : Ast.t;
+  sl_ahash : int64;
+}
+
+type t = { slots : (string, slot) Hashtbl.t }
+
+let create () = { slots = Hashtbl.create 64 }
+
+exception Unknown_slot of string
+
+(** [define t ~name ~params ~annot] parses and registers a slot type.
+    Raises [Invalid_argument] on parse errors or duplicates. *)
+let define t ~name ~params ~annot =
+  if Hashtbl.mem t.slots name then
+    invalid_arg (Printf.sprintf "Registry.define: duplicate slot type %s" name);
+  let a = Parser.parse_exn annot in
+  (match Ast.validate ~params a with
+  | Ok () -> ()
+  | Error msg ->
+      invalid_arg (Printf.sprintf "Registry.define %s: invalid annotation: %s" name msg));
+  let s =
+    { sl_name = name; sl_params = params; sl_annot = a; sl_ahash = Hash.of_annot ~params a }
+  in
+  Hashtbl.replace t.slots name s;
+  s
+
+let find t name =
+  match Hashtbl.find_opt t.slots name with
+  | Some s -> s
+  | None -> raise (Unknown_slot name)
+
+let find_opt t name = Hashtbl.find_opt t.slots name
+let mem t name = Hashtbl.mem t.slots name
+let ahash t name = (find t name).sl_ahash
+
+let all t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.slots []
+  |> List.sort (fun a b -> compare a.sl_name b.sl_name)

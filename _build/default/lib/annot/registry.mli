@@ -1,0 +1,28 @@
+(** Registry of annotated function-pointer slot types: a name such as
+    ["proto_ops.ioctl"], its parameter names, and its parsed annotation
+    with canonical hash.  Kernel indirect-call sites pass the slot-type
+    name; the runtime resolves the expected hash and contract here. *)
+
+type slot = {
+  sl_name : string;
+  sl_params : string list;
+  sl_annot : Ast.t;
+  sl_ahash : int64;
+}
+
+type t = { slots : (string, slot) Hashtbl.t }
+
+val create : unit -> t
+
+exception Unknown_slot of string
+
+val define : t -> name:string -> params:string list -> annot:string -> slot
+(** Parse and register; raises [Invalid_argument] on parse errors or
+    duplicates. *)
+
+val find : t -> string -> slot
+val find_opt : t -> string -> slot option
+val mem : t -> string -> bool
+val ahash : t -> string -> int64
+val all : t -> slot list
+(** Sorted by name. *)

@@ -1,0 +1,1 @@
+lib/kernel/blockdev.ml: Hashtbl Int64 Kcycles Kmem Kstate Ktypes List Printf Slab

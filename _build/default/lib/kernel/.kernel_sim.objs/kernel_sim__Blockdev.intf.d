@@ -1,0 +1,1 @@
+lib/kernel/blockdev.mli: Hashtbl Kstate Ktypes

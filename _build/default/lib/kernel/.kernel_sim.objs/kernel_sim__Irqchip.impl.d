@@ -1,0 +1,1 @@
+lib/kernel/irqchip.ml: Int64 Kcycles Kmem Kstate List Slab

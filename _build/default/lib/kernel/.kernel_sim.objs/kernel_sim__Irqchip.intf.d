@@ -1,0 +1,1 @@
+lib/kernel/irqchip.mli: Kstate

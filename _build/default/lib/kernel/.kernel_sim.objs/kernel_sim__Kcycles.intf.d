@@ -1,0 +1,1 @@
+lib/kernel/kcycles.mli: Format

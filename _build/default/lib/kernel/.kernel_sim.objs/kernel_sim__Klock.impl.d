@@ -1,0 +1,1 @@
+lib/kernel/klock.ml: Kcycles Kmem Kstate Printf

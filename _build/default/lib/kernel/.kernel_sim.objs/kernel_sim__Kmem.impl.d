@@ -1,0 +1,1 @@
+lib/kernel/kmem.ml: Bytes Char Hashtbl Int64 String

@@ -1,0 +1,1 @@
+lib/kernel/kstate.ml: Hashtbl Kcycles Klog Kmem Ksym Ktypes List Printf Slab Task

@@ -1,0 +1,1 @@
+lib/kernel/kstate.mli: Hashtbl Kcycles Kmem Ksym Ktypes Slab Task

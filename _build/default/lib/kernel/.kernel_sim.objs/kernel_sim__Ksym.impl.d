@@ -1,0 +1,1 @@
+lib/kernel/ksym.ml: Fmt Hashtbl Kmem

@@ -1,0 +1,1 @@
+lib/kernel/ksym.mli: Format Hashtbl

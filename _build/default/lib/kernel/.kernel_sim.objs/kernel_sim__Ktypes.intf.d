@@ -1,0 +1,1 @@
+lib/kernel/ktypes.mli: Format Hashtbl

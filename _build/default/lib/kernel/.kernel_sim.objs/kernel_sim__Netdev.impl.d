@@ -1,0 +1,1 @@
+lib/kernel/netdev.ml: Bytes Int64 Kcycles Kmem Kstate Ktypes List Skbuff Slab String

@@ -1,0 +1,1 @@
+lib/kernel/nic.ml: Kcycles Kmem Kstate

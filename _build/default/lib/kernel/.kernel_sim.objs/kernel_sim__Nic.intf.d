@@ -1,0 +1,1 @@
+lib/kernel/nic.mli: Kstate

@@ -1,0 +1,1 @@
+lib/kernel/pci.ml: Hashtbl Int64 Kcycles Kmem Kstate Ktypes List Option Slab

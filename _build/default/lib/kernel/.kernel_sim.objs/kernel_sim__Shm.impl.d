@@ -1,0 +1,1 @@
+lib/kernel/shm.ml: Int64 Kcycles Kmem Kstate Ktypes List Slab

@@ -1,0 +1,1 @@
+lib/kernel/skbuff.ml: Kcycles Kmem Kstate Ktypes Slab

@@ -1,0 +1,1 @@
+lib/kernel/skbuff.mli: Kstate Ktypes

@@ -1,0 +1,1 @@
+lib/kernel/slab.ml: Array Hashtbl Kcycles Kmem Stack

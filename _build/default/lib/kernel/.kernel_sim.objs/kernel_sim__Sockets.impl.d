@@ -1,0 +1,1 @@
+lib/kernel/sockets.ml: Hashtbl Int64 Kcycles Kmem Kstate Ktypes Printf Slab Task

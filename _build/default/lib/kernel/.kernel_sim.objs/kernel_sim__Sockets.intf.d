@@ -1,0 +1,1 @@
+lib/kernel/sockets.mli: Hashtbl Kstate Ktypes

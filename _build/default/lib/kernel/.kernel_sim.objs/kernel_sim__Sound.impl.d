@@ -1,0 +1,1 @@
+lib/kernel/sound.ml: Int64 Kcycles Kmem Kstate Ktypes Slab String

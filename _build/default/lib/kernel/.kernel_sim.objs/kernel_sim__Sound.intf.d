@@ -1,0 +1,1 @@
+lib/kernel/sound.mli: Kstate Ktypes

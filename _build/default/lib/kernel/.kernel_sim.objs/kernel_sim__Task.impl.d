@@ -1,0 +1,1 @@
+lib/kernel/task.ml: Bytes Int64 Kmem Ktypes Slab String

@@ -1,0 +1,45 @@
+(** Interrupt controller: [request_irq] registration and dispatch.
+
+    Modules register interrupt handlers by passing a function pointer
+    {e as an argument} — the "callback functions" contract of §2.2: the
+    module may only provide pointers to functions it could call itself,
+    so the LXFI annotation on [request_irq] is
+    [pre(check(call, handler))].  The kernel then stores the pointer in
+    its own table; the later dispatch is a kernel indirect call through
+    kernel-owned memory (writer-set clean → fast path), which is safe
+    precisely because the registration was checked. *)
+
+type t = {
+  kst : Kstate.t;
+  mutable slots : (int * int * int) list;
+      (** (irq, handler slot address in kernel memory, dev_id) *)
+  mutable raised : int;
+}
+
+let create kst = { kst; slots = []; raised = 0 }
+
+(** [request_irq t ~irq ~handler ~dev_id] — raw registration (the LXFI
+    contract lives on the kernel export). *)
+let request_irq t ~irq ~handler ~dev_id =
+  if List.exists (fun (i, _, _) -> i = irq) t.slots then -16L (* -EBUSY *)
+  else begin
+    let slot = Slab.kmalloc t.kst.Kstate.slab 8 in
+    Kmem.write_ptr t.kst.Kstate.mem slot handler;
+    t.slots <- (irq, slot, dev_id) :: t.slots;
+    0L
+  end
+
+let free_irq t ~irq = t.slots <- List.filter (fun (i, _, _) -> i <> irq) t.slots
+
+(** [raise_irq t ~irq] — hardware asserts the line: the kernel runs the
+    registered handler (a guarded indirect call) in interrupt context.
+    Returns the handler's IRQ_HANDLED result, or 0 if nothing is
+    registered (spurious interrupt). *)
+let raise_irq t ~irq =
+  match List.find_opt (fun (i, _, _) -> i = irq) t.slots with
+  | None -> 0L
+  | Some (_, slot, dev_id) ->
+      t.raised <- t.raised + 1;
+      Kcycles.charge t.kst.Kstate.cycles Kcycles.Kernel 90 (* hardirq entry/exit *);
+      Kstate.call_ptr t.kst ~slot ~ftype:"irq.handler"
+        [ Int64.of_int irq; Int64.of_int dev_id ]

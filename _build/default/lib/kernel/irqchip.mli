@@ -1,0 +1,25 @@
+(** Interrupt controller: handler registration and dispatch.
+
+    The handler function pointer arrives {e as an argument} to
+    [request_irq], so LXFI checks it against the registering module's
+    CALL capabilities at that moment (the §2.2 callback contract); the
+    later per-interrupt dispatch goes through a kernel-owned slot the
+    writer-set fast path clears. *)
+
+type t = {
+  kst : Kstate.t;
+  mutable slots : (int * int * int) list;
+  mutable raised : int;
+}
+
+val create : Kstate.t -> t
+
+val request_irq : t -> irq:int -> handler:int -> dev_id:int -> int64
+(** 0 on success, -EBUSY if the line is taken. *)
+
+val free_irq : t -> irq:int -> unit
+
+val raise_irq : t -> irq:int -> int64
+(** Hardware asserts the line: run the registered handler (guarded
+    indirect call) with [(irq, dev_id)].  Returns the handler's result,
+    or 0 for a spurious interrupt. *)

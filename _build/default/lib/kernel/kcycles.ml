@@ -1,0 +1,59 @@
+(** Cycle accounting for the simulated single-core CPU.
+
+    The netperf reproduction (paper §8.4) reports CPU utilization; on real
+    hardware that is time spent executing instructions and LXFI guards.  In
+    the simulator every unit of work charges cycles to a [t], and the
+    benchmark harness converts accumulated cycles into utilization against
+    a fixed clock rate (the paper's test machine is an Intel i3-550 at
+    3.2 GHz).
+
+    Charges are split into coarse categories so the harness can report
+    where time goes (kernel path vs. module instructions vs. guards),
+    mirroring the paper's Figure 13 breakdown. *)
+
+type category =
+  | Kernel  (** core-kernel work: socket layer, qdisc, slab, IRQs *)
+  | Module  (** interpreted module (MIR) instructions *)
+  | Guard  (** LXFI runtime guards: write checks, wrappers, annotations *)
+
+type t = {
+  mutable kernel : int;
+  mutable module_ : int;
+  mutable guard : int;
+}
+
+let create () = { kernel = 0; module_ = 0; guard = 0 }
+
+let reset t =
+  t.kernel <- 0;
+  t.module_ <- 0;
+  t.guard <- 0
+
+let charge t cat n =
+  match cat with
+  | Kernel -> t.kernel <- t.kernel + n
+  | Module -> t.module_ <- t.module_ + n
+  | Guard -> t.guard <- t.guard + n
+
+(** Total cycles consumed since creation or the last [reset]. *)
+let total t = t.kernel + t.module_ + t.guard
+
+let kernel t = t.kernel
+let module_ t = t.module_
+let guard t = t.guard
+
+(** Snapshot for differential measurement around a workload section. *)
+type snapshot = { s_kernel : int; s_module : int; s_guard : int }
+
+let snapshot t = { s_kernel = t.kernel; s_module = t.module_; s_guard = t.guard }
+
+let since t s =
+  {
+    kernel = t.kernel - s.s_kernel;
+    module_ = t.module_ - s.s_module;
+    guard = t.guard - s.s_guard;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "cycles{kernel=%d; module=%d; guard=%d; total=%d}" t.kernel
+    t.module_ t.guard (total t)

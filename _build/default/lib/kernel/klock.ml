@@ -1,0 +1,33 @@
+(** Spinlocks as plain memory words.
+
+    [spin_lock_init] is the paper's opening example of a "harmless"
+    kernel routine that becomes an arbitrary-zero-write primitive if a
+    module may pass any pointer (§1: pass the address of the current
+    process's uid and become root).  The functions here perform the raw
+    memory operations; whether a module is {e allowed} to name a given
+    address is decided by the LXFI annotation on the export
+    ([pre(check(write, lock, 4))]). *)
+
+let lock_size = 4
+
+(** [spin_lock_init kst addr] writes the unlocked value (zero) to the
+    4-byte lock word at [addr] — unconditionally, like the real kernel. *)
+let spin_lock_init (kst : Kstate.t) addr =
+  Kcycles.charge kst.cycles Kcycles.Kernel 4;
+  Kmem.write_u32 kst.mem addr 0
+
+let spin_lock (kst : Kstate.t) addr =
+  Kcycles.charge kst.cycles Kcycles.Kernel 6;
+  (* Single-core simulation: locks never contend, but we keep the state
+     transition honest so tests can observe lock words. *)
+  if Kmem.read_u32 kst.mem addr <> 0 then
+    raise (Kstate.Oops (Printf.sprintf "deadlock: spinlock 0x%x already held" addr));
+  Kmem.write_u32 kst.mem addr 1
+
+let spin_unlock (kst : Kstate.t) addr =
+  Kcycles.charge kst.cycles Kcycles.Kernel 4;
+  if Kmem.read_u32 kst.mem addr <> 1 then
+    raise (Kstate.Oops (Printf.sprintf "unlock of free spinlock 0x%x" addr));
+  Kmem.write_u32 kst.mem addr 0
+
+let is_locked (kst : Kstate.t) addr = Kmem.read_u32 kst.mem addr = 1

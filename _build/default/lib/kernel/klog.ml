@@ -1,0 +1,22 @@
+(** Kernel log — a thin wrapper around [Logs] with a dedicated source.
+
+    The simulated kernel and the LXFI runtime report noteworthy events
+    (module loads, capability violations, oopses) through this module so
+    that tests and benchmarks can silence or capture them uniformly. *)
+
+let src = Logs.Src.create "kernel_sim" ~doc:"Simulated Linux kernel substrate"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let debug fmt = Format.kasprintf (fun s -> Log.debug (fun m -> m "%s" s)) fmt
+let info fmt = Format.kasprintf (fun s -> Log.info (fun m -> m "%s" s)) fmt
+let warn fmt = Format.kasprintf (fun s -> Log.warn (fun m -> m "%s" s)) fmt
+let err fmt = Format.kasprintf (fun s -> Log.err (fun m -> m "%s" s)) fmt
+
+(** [quiet ()] disables all kernel log output (used by benchmarks). *)
+let quiet () = Logs.Src.set_level src None
+
+(** [verbose ()] enables debug-level output on the kernel source. *)
+let verbose () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.Src.set_level src (Some Logs.Debug)

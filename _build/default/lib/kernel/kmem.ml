@@ -1,0 +1,152 @@
+(** Simulated 64-bit kernel address space.
+
+    A sparse, page-granular byte store.  Addresses are plain OCaml [int]s
+    (63 bits — ample for the layout below).  Nothing here enforces
+    protection: as on real x86-64, the kernel is a single privilege
+    domain, and every write a module performs lands directly in this
+    store.  All isolation is provided by the LXFI layer above, which
+    guards module stores and boundary crossings.
+
+    The address-space layout mirrors Linux well enough for the paper's
+    exploits to be expressed naturally:
+
+    - a user-space range (attacker-controlled; the RDS and Econet
+      exploits make the kernel write into, or call into, this range);
+    - kernel text (exported functions get addresses here);
+    - kernel heap (slab pages);
+    - kernel stacks (with adjacent LXFI shadow stacks);
+    - module area (per-module text/rodata/data/bss/stack sections). *)
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let page_mask = page_size - 1
+
+(** Address-space layout constants. *)
+module Layout = struct
+  let null_guard_top = 0x1000
+
+  (** User mappings: [0x1000, 0x8000_0000). *)
+  let user_base = 0x1000
+
+  let user_top = 0x8000_0000
+
+  (** Kernel text: exported kernel functions are assigned fake text
+      addresses here so CALL capabilities and indirect calls can refer to
+      them uniformly. *)
+  let kernel_text_base = 0x1_0000_0000
+
+  (** Kernel heap: slab allocator pages. *)
+  let kernel_heap_base = 0x2_0000_0000
+
+  (** Kernel thread stacks (and their adjacent shadow stacks). *)
+  let kernel_stack_base = 0x3_0000_0000
+
+  (** Module sections: text, rodata, data, bss, module stacks. *)
+  let module_base = 0x4_0000_0000
+
+  let is_null a = a >= 0 && a < null_guard_top
+  let is_user a = a >= user_base && a < user_top
+  let is_kernel a = a >= kernel_text_base
+  let is_module_area a = a >= module_base
+end
+
+(** Raised on access to unmapped or null addresses; the kernel substrate
+    catches this at the syscall boundary and runs the oops path, exactly
+    where CVE-2010-4258's [do_exit] bug lives. *)
+exception Fault of { addr : int; write : bool }
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable mapped_pages : int;
+  mutable fault_on_unmapped : bool;
+      (** when false (default), reads of unmapped pages yield zeroes and
+          writes map the page on demand; tests can tighten this *)
+}
+
+let create () =
+  { pages = Hashtbl.create 1024; mapped_pages = 0; fault_on_unmapped = false }
+
+let page_of t ~write addr =
+  if Layout.is_null addr || addr < 0 then raise (Fault { addr; write });
+  let idx = addr lsr page_shift in
+  match Hashtbl.find_opt t.pages idx with
+  | Some b -> b
+  | None ->
+      if t.fault_on_unmapped then raise (Fault { addr; write })
+      else begin
+        let b = Bytes.make page_size '\000' in
+        Hashtbl.replace t.pages idx b;
+        t.mapped_pages <- t.mapped_pages + 1;
+        b
+      end
+
+(** [map t ~addr ~len] eagerly maps (zero-filled) all pages covering
+    [addr, addr+len). *)
+let map t ~addr ~len =
+  let first = addr lsr page_shift and last = (addr + len - 1) lsr page_shift in
+  for idx = first to last do
+    if not (Hashtbl.mem t.pages idx) then begin
+      Hashtbl.replace t.pages idx (Bytes.make page_size '\000');
+      t.mapped_pages <- t.mapped_pages + 1
+    end
+  done
+
+let read_u8 t addr =
+  let b = page_of t ~write:false addr in
+  Char.code (Bytes.get b (addr land page_mask))
+
+let write_u8 t addr v =
+  let b = page_of t ~write:true addr in
+  Bytes.set b (addr land page_mask) (Char.chr (v land 0xff))
+
+(** [read t ~addr ~size] reads a little-endian [size]-byte integer
+    ([size] in 1..8) and returns it as an [int64]. *)
+let read t ~addr ~size =
+  assert (size >= 1 && size <= 8);
+  let v = ref 0L in
+  for i = size - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_u8 t (addr + i)))
+  done;
+  !v
+
+(** [write t ~addr ~size v] stores the low [size] bytes of [v]
+    little-endian at [addr]. *)
+let write t ~addr ~size v =
+  assert (size >= 1 && size <= 8);
+  for i = 0 to size - 1 do
+    write_u8 t (addr + i)
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
+  done
+
+let read_u64 t addr = read t ~addr ~size:8
+let write_u64 t addr v = write t ~addr ~size:8 v
+let read_u32 t addr = Int64.to_int (read t ~addr ~size:4)
+let write_u32 t addr v = write t ~addr ~size:4 (Int64.of_int v)
+
+(** Pointer-sized loads/stores; pointers are stored as 8-byte values. *)
+let read_ptr t addr = Int64.to_int (read t ~addr ~size:8)
+
+let write_ptr t addr p = write t ~addr ~size:8 (Int64.of_int p)
+
+let read_bytes t ~addr ~len =
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set out i (Char.chr (read_u8 t (addr + i)))
+  done;
+  out
+
+let write_bytes t ~addr s =
+  String.iteri (fun i c -> write_u8 t (addr + i) (Char.code c)) s
+
+let zero t ~addr ~len =
+  for i = 0 to len - 1 do
+    write_u8 t (addr + i) 0
+  done
+
+(** [blit t ~src ~dst ~len] copies [len] bytes within the address space
+    (used by the simulated [memcpy] / [copy_to_user] paths). *)
+let blit t ~src ~dst ~len =
+  let tmp = read_bytes t ~addr:src ~len in
+  write_bytes t ~addr:dst (Bytes.to_string tmp)
+
+let mapped_pages t = t.mapped_pages

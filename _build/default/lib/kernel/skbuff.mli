@@ -1,0 +1,23 @@
+(** Simulated [struct sk_buff] — the network packet: a struct with an
+    interior pointer to a separately-allocated payload, whose
+    capability set is expressed by the [skb_caps] iterator (paper
+    Figure 4). *)
+
+val struct_name : string
+val define_layout : Ktypes.t -> unit
+val off : Kstate.t -> string -> int
+val sizeof : Kstate.t -> int
+
+val alloc : Kstate.t -> int -> int
+(** Allocate an sk_buff with a payload buffer of the given length;
+    returns the struct address. *)
+
+val data : Kstate.t -> int -> int
+val len : Kstate.t -> int -> int
+val set_len : Kstate.t -> int -> int -> unit
+val dev : Kstate.t -> int -> int
+val set_dev : Kstate.t -> int -> int -> unit
+val set_data : Kstate.t -> int -> int -> unit
+
+val free : Kstate.t -> int -> unit
+(** Free the struct and (if live) its payload buffer. *)

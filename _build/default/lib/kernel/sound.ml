@@ -1,0 +1,91 @@
+(** ALSA-like sound core, hosting the two sound drivers of the paper's
+    corpus (snd-intel8x0, snd-ens1370).
+
+    A sound driver creates a card, installs a [snd_pcm_ops] table in its
+    own memory, and the core drives playback by calling [trigger] and
+    [pointer] through those slots while the module fills the DMA area
+    with (LXFI-guarded) stores. *)
+
+let card_struct = "snd_card"
+let ops_struct = "snd_pcm_ops"
+
+let define_layout types =
+  ignore
+    (Ktypes.define types ops_struct
+       [
+         ("open", 8, Ktypes.Funcptr "snd_pcm_ops.open");
+         ("close", 8, Ktypes.Funcptr "snd_pcm_ops.close");
+         ("trigger", 8, Ktypes.Funcptr "snd_pcm_ops.trigger");
+         ("pointer", 8, Ktypes.Funcptr "snd_pcm_ops.pointer");
+       ]);
+  ignore
+    (Ktypes.define types card_struct
+       [
+         ("pcm_ops", 8, Ktypes.Pointer);
+         ("dma_area", 8, Ktypes.Pointer);
+         ("dma_bytes", 4, Ktypes.Scalar);
+         ("running", 4, Ktypes.Scalar);
+         ("private", 8, Ktypes.Pointer);
+         ("name", 16, Ktypes.Scalar);
+       ])
+
+(* trigger commands *)
+let trigger_start = 1L
+let trigger_stop = 0L
+
+type t = { kst : Kstate.t; mutable cards : int list; mutable periods_elapsed : int }
+
+let create kst = { kst; cards = []; periods_elapsed = 0 }
+let coff t f = Ktypes.offset t.kst.Kstate.types card_struct f
+let ooff t f = Ktypes.offset t.kst.Kstate.types ops_struct f
+
+(** [snd_card_create t ~name ~dma_bytes] — exported: allocates the card
+    and its DMA buffer; the caller module receives WRITE on the DMA area
+    via the export's annotation. *)
+let snd_card_create t ~name ~dma_bytes =
+  let kst = t.kst in
+  Kcycles.charge kst.cycles Kcycles.Kernel 150;
+  let card = Slab.kmalloc kst.slab (Ktypes.sizeof kst.types card_struct) in
+  let dma = Slab.kmalloc kst.slab dma_bytes in
+  Kmem.write_ptr kst.mem (card + coff t "dma_area") dma;
+  Kmem.write_u32 kst.mem (card + coff t "dma_bytes") dma_bytes;
+  Kmem.write_bytes kst.mem ~addr:(card + coff t "name")
+    (let n = if String.length name > 15 then String.sub name 0 15 else name in
+     n ^ "\000");
+  card
+
+let snd_card_register t card =
+  t.cards <- card :: t.cards;
+  0L
+
+let dma_area t card = Kmem.read_ptr t.kst.mem (card + coff t "dma_area")
+let dma_bytes t card = Kmem.read_u32 t.kst.mem (card + coff t "dma_bytes")
+
+(** [snd_pcm_period_elapsed t card] — exported; drivers call it from
+    their interrupt path. *)
+let snd_pcm_period_elapsed t _card =
+  Kcycles.charge t.kst.cycles Kcycles.Kernel 40;
+  t.periods_elapsed <- t.periods_elapsed + 1;
+  0L
+
+let op_call t card ~op args =
+  let kst = t.kst in
+  let ops = Kmem.read_ptr kst.mem (card + coff t "pcm_ops") in
+  if ops = 0 then raise (Kstate.Oops "snd card without pcm ops");
+  let slot = ops + ooff t op in
+  Kstate.call_ptr kst ~slot ~ftype:("snd_pcm_ops." ^ op) (Int64.of_int card :: args)
+
+(** Userspace-side playback sequence: open, start trigger, poll the
+    hardware pointer [polls] times, stop, close. Returns the last
+    hardware pointer position. *)
+let playback t card ~polls =
+  ignore (op_call t card ~op:"open" []);
+  ignore (op_call t card ~op:"trigger" [ trigger_start ]);
+  let pos = ref 0L in
+  for _ = 1 to polls do
+    Kcycles.charge t.kst.cycles Kcycles.Kernel 30;
+    pos := op_call t card ~op:"pointer" []
+  done;
+  ignore (op_call t card ~op:"trigger" [ trigger_stop ]);
+  ignore (op_call t card ~op:"close" []);
+  !pos

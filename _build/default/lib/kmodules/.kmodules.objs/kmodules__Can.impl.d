@@ -1,0 +1,1 @@
+lib/kmodules/can.ml: Kernel_sim Ksys Mir Mod_common Proto_common

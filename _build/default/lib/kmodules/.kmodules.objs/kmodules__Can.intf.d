@@ -1,0 +1,1 @@
+lib/kmodules/can.mli: Ksys Mir Mod_common

@@ -1,0 +1,1 @@
+lib/kmodules/can_bcm.ml: Ksys Mir Mod_common Proto_common

@@ -1,0 +1,1 @@
+lib/kmodules/can_bcm.mli: Ksys Mir Mod_common

@@ -1,0 +1,1 @@
+lib/kmodules/catalog.ml: Can Can_bcm Dm_crypt Dm_snapshot Dm_zero E1000 Econet Ksys List Lxfi Mir Mod_common Rds Snd_ens1370 Snd_intel8x0

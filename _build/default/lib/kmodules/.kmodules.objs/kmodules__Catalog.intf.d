@@ -1,0 +1,1 @@
+lib/kmodules/catalog.mli: Ksys Mod_common

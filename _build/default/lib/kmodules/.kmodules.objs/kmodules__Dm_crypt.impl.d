@@ -1,0 +1,1 @@
+lib/kmodules/dm_crypt.ml: Kernel_sim Ksys Mir Mod_common

@@ -1,0 +1,1 @@
+lib/kmodules/dm_crypt.mli: Ksys Lxfi Mir Mod_common

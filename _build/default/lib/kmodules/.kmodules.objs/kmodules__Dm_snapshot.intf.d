@@ -1,0 +1,1 @@
+lib/kmodules/dm_snapshot.mli: Ksys Lxfi Mir Mod_common

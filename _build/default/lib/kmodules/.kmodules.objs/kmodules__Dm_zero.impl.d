@@ -1,0 +1,1 @@
+lib/kmodules/dm_zero.ml: Kernel_sim Ksys Mir Mod_common

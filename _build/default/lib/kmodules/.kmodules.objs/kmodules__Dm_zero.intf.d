@@ -1,0 +1,1 @@
+lib/kmodules/dm_zero.mli: Ksys Lxfi Mir Mod_common

@@ -1,0 +1,1 @@
+lib/kmodules/e1000.ml: Kernel_sim Ksys Mir Mod_common

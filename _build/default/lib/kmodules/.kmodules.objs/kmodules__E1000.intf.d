@@ -1,0 +1,1 @@
+lib/kmodules/e1000.mli: Ksys Mir Mod_common

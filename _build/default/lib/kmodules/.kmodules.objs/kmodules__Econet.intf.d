@@ -1,0 +1,1 @@
+lib/kmodules/econet.mli: Ksys Mir Mod_common

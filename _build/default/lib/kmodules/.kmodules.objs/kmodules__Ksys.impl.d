@@ -1,0 +1,1 @@
+lib/kmodules/ksys.ml: Annot Blockdev Hashtbl Int64 Irqchip Kernel_sim Klock Kmem Kstate Ktypes List Lxfi Netdev Nic Pci Printf Shm Skbuff Slab Sockets Sound Task

@@ -1,0 +1,1 @@
+lib/kmodules/ksys.mli: Blockdev Irqchip Kernel_sim Kmem Kstate Ktypes Lxfi Mir Netdev Nic Pci Shm Sockets Sound

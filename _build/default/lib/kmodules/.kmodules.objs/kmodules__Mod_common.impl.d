@@ -1,0 +1,1 @@
+lib/kmodules/mod_common.ml: Hashtbl Ksys Lxfi Mir Printf

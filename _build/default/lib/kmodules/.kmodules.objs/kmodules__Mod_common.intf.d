@@ -1,0 +1,1 @@
+lib/kmodules/mod_common.mli: Ksys Lxfi Mir

@@ -1,0 +1,1 @@
+lib/kmodules/proto_common.ml: Ksys List Mir

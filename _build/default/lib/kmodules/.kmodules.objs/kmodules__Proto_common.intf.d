@@ -1,0 +1,1 @@
+lib/kmodules/proto_common.mli: Ksys Mir

@@ -1,0 +1,1 @@
+lib/kmodules/rds.mli: Ksys Mir Mod_common

@@ -1,0 +1,1 @@
+lib/kmodules/snd_common.ml: Ksys Mir

@@ -1,0 +1,1 @@
+lib/kmodules/snd_ens1370.ml: Mod_common Snd_common

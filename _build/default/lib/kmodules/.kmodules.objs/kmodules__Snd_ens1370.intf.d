@@ -1,0 +1,1 @@
+lib/kmodules/snd_ens1370.mli: Ksys Mir Mod_common

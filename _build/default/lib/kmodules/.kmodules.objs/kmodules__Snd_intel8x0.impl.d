@@ -1,0 +1,1 @@
+lib/kmodules/snd_intel8x0.ml: Mod_common Snd_common

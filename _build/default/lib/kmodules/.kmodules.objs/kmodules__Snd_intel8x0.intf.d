@@ -1,0 +1,1 @@
+lib/kmodules/snd_intel8x0.mli: Ksys Mir Mod_common

@@ -1,0 +1,49 @@
+(** The base CAN protocol module (raw CAN frames).
+
+    No known vulnerability — it is part of the corpus to measure
+    annotation effort (Figure 9 notes that [can] needed only 7 extra
+    function annotations once the rest of the corpus was done, because
+    protocol modules share most of their interface). *)
+
+open Mir.Builder
+
+let family = Kernel_sim.Sockets.af_can
+let frame_size = 16
+
+let sendmsg sys =
+  [
+    let_ "sk" (Proto_common.sk_of sys (v "sock"));
+    when_ (load32 (v "sk" +: ii Proto_common.sk_state) ==: ii 0) [ ret (ii (-107)) ];
+    (* stage the frame from user space *)
+    alloca "frame" frame_size;
+    let_ "n" (v "len");
+    when_ (v "n" >: ii frame_size) [ let_ "n" (ii frame_size) ];
+    expr (call_ext "copy_from_user" [ v "frame"; v "buf"; v "n" ]);
+    (* build an skb carrying the frame and loop it back up the stack *)
+    let_ "skb" (call_ext "alloc_skb" [ ii frame_size ]);
+    when_ (v "skb" ==: ii 0) [ ret (ii (-12)) ];
+    let_ "data" (load64 (v "skb" +: ii (Ksys.off sys "sk_buff" "data")));
+    store64 (v "data") (load64 (v "frame"));
+    store64 (v "data" +: ii 8) (load64 (v "frame" +: ii 8));
+    expr (call_ext "netif_rx" [ v "skb" ]);
+    ret (v "n");
+  ]
+
+let recvmsg _sys = [ ret (ii (-11)) ]
+
+let ioctl _sys = [ ret0 ]
+
+let make (sys : Ksys.t) =
+  Proto_common.make sys ~name:"can" ~family ~ops_section:Mir.Ast.Data ~sk_size:64
+    ~sendmsg ~recvmsg ~ioctl
+    ~extra_imports:[ "copy_from_user"; "alloc_skb"; "netif_rx" ]
+    ()
+
+let spec : Mod_common.spec =
+  {
+    Mod_common.name = "can";
+    category = "net protocol driver";
+    make;
+    init = Mod_common.run_module_init;
+    slot_types = Proto_common.proto_slot_types;
+  }

@@ -1,0 +1,89 @@
+(** The CAN broadcast-manager module, carrying CVE-2010-2959.
+
+    [bcm_rx_setup]'s allocation size is [nframes * 16] computed in
+    32-bit arithmetic: a large [nframes] overflows the multiplication,
+    so the module allocates a tiny buffer while recording the huge
+    frame count.  A later update operation indexes frames by that
+    count's bound and writes attacker-controlled values out of bounds —
+    into whatever slab object follows the buffer (a [shmid_kernel] in
+    Jon Oberheide's exploit).
+
+    LXFI stops it because kmalloc's annotation grants WRITE for the
+    {e actual} allocation size ([kmalloc_caps]); the first out-of-bounds
+    store faults the write guard (§8.1). *)
+
+open Mir.Builder
+
+(* This module registers its own family in the simulation (the real
+   kernel nests BCM inside AF_CAN; the isolation story is identical). *)
+let family = 30
+
+(* sk payload: +32 recorded nframes. *)
+let sk_nframes = Proto_common.sk_user
+
+(* header layout in the user message: opcode, arg (nframes or index),
+   value to write *)
+let op_rx_setup = 1
+let op_rx_update = 2
+let hdr_size = 24
+
+let sendmsg sys =
+  [
+    let_ "sk" (Proto_common.sk_of sys (v "sock"));
+    when_ (v "len" <: ii hdr_size) [ ret (ii (-22)) ];
+    alloca "hdr" hdr_size;
+    expr (call_ext "copy_from_user" [ v "hdr"; v "buf"; ii hdr_size ]);
+    let_ "op" (load64 (v "hdr"));
+    if_
+      (v "op" ==: ii op_rx_setup)
+      [
+        let_ "nframes" (load32 (v "hdr" +: ii 8));
+        (* CVE-2010-2959: 32-bit multiplication overflows. *)
+        let_ "size" (mul32 (v "nframes") (ii 16));
+        when_ (v "size" ==: ii 0) [ ret (ii (-22)) ];
+        let_ "old" (load64 (v "sk" +: ii Proto_common.sk_buf));
+        when_ (v "old" <>: ii 0) [ expr (call_ext "kfree" [ v "old" ]) ];
+        let_ "frames" (call_ext "kmalloc" [ v "size" ]);
+        when_ (v "frames" ==: ii 0) [ ret (ii (-12)) ];
+        store64 (v "sk" +: ii Proto_common.sk_buf) (v "frames");
+        store32 (v "sk" +: ii Proto_common.sk_buf_len) (v "size");
+        (* the buggy bookkeeping: the unwrapped frame count *)
+        store64 (v "sk" +: ii sk_nframes) (v "nframes");
+        (* initialise the first frame *)
+        store64 (v "frames") (ii 0);
+        store64 (v "frames" +: ii 8) (ii 0);
+        ret0;
+      ]
+      [
+        when_ (v "op" <>: ii op_rx_update) [ ret (ii (-22)) ];
+        let_ "frames" (load64 (v "sk" +: ii Proto_common.sk_buf));
+        when_ (v "frames" ==: ii 0) [ ret (ii (-22)) ];
+        let_ "idx" (load64 (v "hdr" +: ii 8));
+        let_ "val" (load64 (v "hdr" +: ii 16));
+        (* bound check against the (corrupted) frame count, not the
+           allocation size — the essence of the bug *)
+        when_ (v "idx" >=: load64 (v "sk" +: ii sk_nframes)) [ ret (ii (-22)) ];
+        store64 (load64 (v "sk" +: ii Proto_common.sk_buf) +: (v "idx" *: ii 16)) (v "val");
+        store64
+          (load64 (v "sk" +: ii Proto_common.sk_buf) +: (v "idx" *: ii 16) +: ii 8)
+          (v "val");
+        ret0;
+      ];
+  ]
+
+let recvmsg _sys = [ ret (ii (-11)) ]
+
+let ioctl _sys = [ ret0 ]
+
+let make (sys : Ksys.t) =
+  Proto_common.make sys ~name:"can_bcm" ~family ~ops_section:Mir.Ast.Data ~sk_size:64
+    ~sendmsg ~recvmsg ~ioctl ~extra_imports:[ "copy_from_user" ] ()
+
+let spec : Mod_common.spec =
+  {
+    Mod_common.name = "can_bcm";
+    category = "net protocol driver";
+    make;
+    init = Mod_common.run_module_init;
+    slot_types = Proto_common.proto_slot_types;
+  }

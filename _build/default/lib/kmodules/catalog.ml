@@ -1,0 +1,81 @@
+(** The ten-module corpus of the paper's evaluation (Figure 9), plus
+    the annotation-effort accounting that regenerates that table.
+
+    "Unique" counts follow the paper: an annotated function (or
+    function-pointer slot type) is unique to a module if no other
+    module in the corpus uses it; shared annotations are the reason the
+    marginal cost of supporting a new module is small (§8.2). *)
+
+let all : Mod_common.spec list =
+  [
+    E1000.spec;
+    Snd_intel8x0.spec;
+    Snd_ens1370.spec;
+    Rds.spec;
+    Can.spec;
+    Can_bcm.spec;
+    Econet.spec;
+    Dm_crypt.spec;
+    Dm_zero.spec;
+    Dm_snapshot.spec;
+  ]
+
+let find name = List.find_opt (fun s -> s.Mod_common.name = name) all
+
+(** Annotated kernel functions a module needs: its imports minus the
+    [lxfi_*] runtime builtins (those are LXFI API, not kernel API). *)
+let annotated_imports (sys : Ksys.t) (spec : Mod_common.spec) =
+  let prog = spec.Mod_common.make sys in
+  List.filter (fun i -> not (Lxfi.Loader.is_builtin i)) prog.Mir.Ast.imports
+
+type effort_row = {
+  e_module : string;
+  e_category : string;
+  e_functions_all : int;
+  e_functions_unique : int;
+  e_fptrs_all : int;
+  e_fptrs_unique : int;
+}
+
+(** [annotation_effort sys] — the Figure 9 table over our corpus. *)
+let annotation_effort (sys : Ksys.t) : effort_row list * int * int =
+  let rows_raw =
+    List.map
+      (fun spec ->
+        (spec, annotated_imports sys spec, spec.Mod_common.slot_types))
+      all
+  in
+  let used_elsewhere self item select =
+    List.exists
+      (fun (spec, imports, slots) ->
+        spec.Mod_common.name <> self
+        && List.mem item (match select with `Imports -> imports | `Slots -> slots))
+      rows_raw
+  in
+  let rows =
+    List.map
+      (fun (spec, imports, slots) ->
+        let name = spec.Mod_common.name in
+        {
+          e_module = name;
+          e_category = spec.Mod_common.category;
+          e_functions_all = List.length imports;
+          e_functions_unique =
+            List.length
+              (List.filter (fun i -> not (used_elsewhere name i `Imports)) imports);
+          e_fptrs_all = List.length slots;
+          e_fptrs_unique =
+            List.length
+              (List.filter (fun s -> not (used_elsewhere name s `Slots)) slots);
+        })
+      rows_raw
+  in
+  let distinct select =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (_, imports, slots) ->
+           match select with `Imports -> imports | `Slots -> slots)
+         rows_raw)
+    |> List.length
+  in
+  (rows, distinct `Imports, distinct `Slots)

@@ -1,0 +1,87 @@
+(** dm-crypt: an encrypting device-mapper target.
+
+    The cipher is a keyed XOR stream — cryptographically a toy, but the
+    data flow matches the real module where it matters to LXFI: a
+    per-device key object allocated in the constructor (owned by that
+    device's {e instance principal}), in-place transformation of bio
+    payloads, and remap to the backing device.  One compromised
+    dm-crypt device must not reach another device's key or data —
+    the paper's §2.1 motivating scenario (the malicious USB stick). *)
+
+open Mir.Builder
+
+let make (sys : Ksys.t) : Mir.Ast.prog =
+  let off = Ksys.off sys in
+  let funcs =
+    [
+      func "module_init" []
+        [ expr (call_ext "dm_register_target" [ glob "crypt_target" ]); ret0 ];
+      (* arg carries the key value *)
+      func "crypt_ctr" [ "ti"; "arg" ]
+        [
+          let_ "cc" (call_ext "kmalloc" [ ii 32 ]);
+          when_ (v "cc" ==: ii 0) [ ret (ii (-12)) ];
+          store64 (v "cc") (v "arg");
+          store64 (v "cc" +: ii 8) (ii 0) (* sector counter *);
+          store64 (v "ti" +: ii (off "dm_target" "private")) (v "cc");
+          ret0;
+        ];
+      func "crypt_dtr" [ "ti" ]
+        [
+          let_ "cc" (load64 (v "ti" +: ii (off "dm_target" "private")));
+          when_ (v "cc" <>: ii 0) [ expr (call_ext "kfree" [ v "cc" ]) ];
+          ret0;
+        ];
+      (* keystream for a sector: key xor (sector * golden) *)
+      func "crypt_keystream" [ "key"; "sector" ]
+        [ ret (v "key" ^: (v "sector" *: i 0x9e3779b97f4a7c15L)) ];
+      func "crypt_map" [ "ti"; "bio" ]
+        ([
+           let_ "cc" (load64 (v "ti" +: ii (off "dm_target" "private")));
+           let_ "key" (load64 (v "cc"));
+           let_ "sector" (load64 (v "bio" +: ii (off "bio" "sector")));
+           let_ "ks" (call "crypt_keystream" [ v "key"; v "sector" ]);
+           let_ "data" (load64 (v "bio" +: ii (off "bio" "data")));
+           let_ "size" (load32 (v "bio" +: ii (off "bio" "size")));
+         ]
+        @ for_ "i" ~from:(ii 0) ~below:(v "size" /: ii 8)
+            [
+              store64
+                (v "data" +: (v "i" *: ii 8))
+                (load64 (v "data" +: (v "i" *: ii 8)) ^: v "ks");
+            ]
+        @ [
+            store64 (v "cc" +: ii 8) (load64 (v "cc" +: ii 8) +: ii 1);
+            ret (i Kernel_sim.Blockdev.dm_mapio_remapped);
+          ]);
+    ]
+  in
+  let globals =
+    [
+      global "crypt_target" (Ksys.sizeof sys "target_type") ~struct_:"target_type"
+        ~init:
+          [
+            init_func (off "target_type" "ctr") "crypt_ctr";
+            init_func (off "target_type" "dtr") "crypt_dtr";
+            init_func (off "target_type" "map") "crypt_map";
+          ];
+    ]
+  in
+  prog "dm_crypt"
+    ~imports:[ "dm_register_target"; "kmalloc"; "kfree"; "printk" ]
+    ~globals ~funcs
+
+let init sys mi =
+  Mod_common.run_module_init sys mi;
+  ignore
+    (Kernel_sim.Blockdev.register_target sys.Ksys.blk ~name:"crypt"
+       ~tt:(Mod_common.gaddr mi "crypt_target"))
+
+let spec : Mod_common.spec =
+  {
+    Mod_common.name = "dm_crypt";
+    category = "block device driver";
+    make;
+    init;
+    slot_types = [ "target_type.ctr"; "target_type.dtr"; "target_type.map" ];
+  }

@@ -1,0 +1,94 @@
+(** dm-snapshot: copy-on-write snapshot target.
+
+    Keeps an exception table (chunk -> COW copy address); the first
+    write to a chunk allocates a COW block and preserves the original
+    payload before letting the write proceed.  Per-device state hangs
+    off the [dm_target], so each snapshot is its own instance
+    principal. *)
+
+open Mir.Builder
+
+let chunks = 256
+let chunk_size = 256
+let table_bytes = chunks * 8
+
+let make (sys : Ksys.t) : Mir.Ast.prog =
+  let off = Ksys.off sys in
+  let funcs =
+    [
+      func "module_init" []
+        [ expr (call_ext "dm_register_target" [ glob "snap_target" ]); ret0 ];
+      func "snap_ctr" [ "ti"; "arg" ]
+        [
+          let_ "table" (call_ext "kmalloc" [ ii table_bytes ]);
+          when_ (v "table" ==: ii 0) [ ret (ii (-12)) ];
+          store64 (v "ti" +: ii (off "dm_target" "private")) (v "table");
+          ret0;
+        ];
+      func "snap_dtr" [ "ti" ]
+        ([ let_ "table" (load64 (v "ti" +: ii (off "dm_target" "private"))) ]
+        @ for_ "i" ~from:(ii 0) ~below:(ii chunks)
+            [
+              let_ "cow" (load64 (v "table" +: (v "i" *: ii 8)));
+              when_ (v "cow" <>: ii 0) [ expr (call_ext "kfree" [ v "cow" ]) ];
+            ]
+        @ [ expr (call_ext "kfree" [ v "table" ]); ret0 ]);
+      (* Preserve the original chunk payload into a fresh COW block. *)
+      func "snap_cow_chunk" [ "table"; "chunk"; "data" ]
+        ([
+           let_ "cow" (call_ext "kmalloc" [ ii chunk_size ]);
+           when_ (v "cow" ==: ii 0) [ ret (ii (-12)) ];
+         ]
+        @ for_ "i" ~from:(ii 0) ~below:(ii (chunk_size / 8))
+            [
+              store64
+                (v "cow" +: (v "i" *: ii 8))
+                (load64 (v "data" +: (v "i" *: ii 8)));
+            ]
+        @ [ store64 (v "table" +: (v "chunk" *: ii 8)) (v "cow"); ret0 ]);
+      func "snap_map" [ "ti"; "bio" ]
+        [
+          let_ "table" (load64 (v "ti" +: ii (off "dm_target" "private")));
+          let_ "sector" (load64 (v "bio" +: ii (off "bio" "sector")));
+          let_ "chunk" (v "sector" %: ii chunks);
+          let_ "rw" (load32 (v "bio" +: ii (off "bio" "rw")));
+          when_
+            ((v "rw" ==: ii 1) &: (load64 (v "table" +: (v "chunk" *: ii 8)) ==: ii 0))
+            [
+              let_ "data" (load64 (v "bio" +: ii (off "bio" "data")));
+              let_ "r" (call "snap_cow_chunk" [ v "table"; v "chunk"; v "data" ]);
+              when_ (v "r" <>: ii 0) [ ret (v "r") ];
+            ];
+          ret (i Kernel_sim.Blockdev.dm_mapio_remapped);
+        ];
+    ]
+  in
+  let globals =
+    [
+      global "snap_target" (Ksys.sizeof sys "target_type") ~struct_:"target_type"
+        ~init:
+          [
+            init_func (off "target_type" "ctr") "snap_ctr";
+            init_func (off "target_type" "dtr") "snap_dtr";
+            init_func (off "target_type" "map") "snap_map";
+          ];
+    ]
+  in
+  prog "dm_snapshot"
+    ~imports:[ "dm_register_target"; "kmalloc"; "kfree"; "printk" ]
+    ~globals ~funcs
+
+let init sys mi =
+  Mod_common.run_module_init sys mi;
+  ignore
+    (Kernel_sim.Blockdev.register_target sys.Ksys.blk ~name:"snapshot"
+       ~tt:(Mod_common.gaddr mi "snap_target"))
+
+let spec : Mod_common.spec =
+  {
+    Mod_common.name = "dm_snapshot";
+    category = "block device driver";
+    make;
+    init;
+    slot_types = [ "target_type.ctr"; "target_type.dtr"; "target_type.map" ];
+  }

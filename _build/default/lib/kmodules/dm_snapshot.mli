@@ -1,0 +1,9 @@
+(** dm-snapshot: copy-on-write target with a per-device exception
+    table; the first write to each chunk preserves the original into a
+    COW block. *)
+
+val chunks : int
+val chunk_size : int
+val make : Ksys.t -> Mir.Ast.prog
+val init : Ksys.t -> Lxfi.Runtime.module_info -> unit
+val spec : Mod_common.spec

@@ -1,0 +1,57 @@
+(** dm-zero: the smallest module of the corpus (Figure 9 lists it with
+    6 annotated functions and 2 function pointers) — a device-mapper
+    target that returns zeroes for reads and discards writes. *)
+
+open Mir.Builder
+
+let make (sys : Ksys.t) : Mir.Ast.prog =
+  let off = Ksys.off sys in
+  let funcs =
+    [
+      func "module_init" []
+        [ expr (call_ext "dm_register_target" [ glob "zero_target" ]); ret0 ];
+      func "zero_ctr" [ "ti"; "arg" ] [ ret0 ];
+      func "zero_dtr" [ "ti" ] [ ret0 ];
+      func "zero_map" [ "ti"; "bio" ]
+        [
+          let_ "rw" (load32 (v "bio" +: ii (off "bio" "rw")));
+          if_ (v "rw" ==: ii 0)
+            ([
+               let_ "data" (load64 (v "bio" +: ii (off "bio" "data")));
+               let_ "size" (load32 (v "bio" +: ii (off "bio" "size")));
+             ]
+            @ for_ "i" ~from:(ii 0) ~below:(v "size" /: ii 8)
+                [ store64 (v "data" +: (v "i" *: ii 8)) (ii 0) ])
+            [ (* writes are discarded *) ];
+          store32 (v "bio" +: ii (off "bio" "status")) (ii 1);
+          ret0;
+        ];
+    ]
+  in
+  let globals =
+    [
+      global "zero_target" (Ksys.sizeof sys "target_type") ~struct_:"target_type"
+        ~init:
+          [
+            init_func (off "target_type" "ctr") "zero_ctr";
+            init_func (off "target_type" "dtr") "zero_dtr";
+            init_func (off "target_type" "map") "zero_map";
+          ];
+    ]
+  in
+  prog "dm_zero" ~imports:[ "dm_register_target"; "printk" ] ~globals ~funcs
+
+let init sys mi =
+  Mod_common.run_module_init sys mi;
+  ignore
+    (Kernel_sim.Blockdev.register_target sys.Ksys.blk ~name:"zero"
+       ~tt:(Mod_common.gaddr mi "zero_target"))
+
+let spec : Mod_common.spec =
+  {
+    Mod_common.name = "dm_zero";
+    category = "block device driver";
+    make;
+    init;
+    slot_types = [ "target_type.ctr"; "target_type.dtr"; "target_type.map" ];
+  }

@@ -1,0 +1,321 @@
+(** The e1000 network driver — the module the paper's performance
+    evaluation isolates (§8.4).
+
+    Written in MIR against the simulated PCI/netdev/NAPI interfaces.
+    Structure follows the real driver closely enough that the per-packet
+    guard profile is meaningful: descriptor-ring stores into the MMIO
+    BAR, tx-completion cleanup, buffer-info bookkeeping, NAPI receive
+    with buffer replenishment.
+
+    Per-adapter state lives in a kmalloc'd private struct reachable from
+    [net_device.priv] (with the NAPI context embedded inside it, as in
+    the real driver), so one module instance per card works: the
+    capabilities for card A's rings, buffers and private state belong to
+    card A's principal only — see examples/netdriver_principals.ml.
+
+    Principal story (Figure 4 of the paper): the PCI probe runs as the
+    instance principal named by the [pci_dev]; the module immediately
+    aliases the freshly allocated [net_device] and the embedded
+    [napi_struct] to the same logical principal, so transmit (named by
+    the net_device) and poll (named by the napi) run with the same
+    capabilities. *)
+
+open Mir.Builder
+
+(* Private-state layout (kmalloc'd per adapter). *)
+let p_pcidev = 0
+let p_ndev = 8
+let p_bar = 16
+let p_tx_lock = 24
+let p_rx_head = 28
+let p_tx_clean = 32
+let p_tx_packets = 40
+let p_tx_bytes = 48
+let p_rx_packets = 56
+let p_napi = 64 (* embedded napi_struct (32 bytes incl. padding) *)
+let p_next_to_use = 96
+let p_last_tx_jiffies = 104
+let p_rx_bufs = 112 (* 64 x 8 bytes *)
+let p_tx_info = p_rx_bufs + (64 * 8) (* 64 x 16 bytes: {skb, len} *)
+let priv_size = p_tx_info + (64 * 16)
+
+let vendor = 0x8086
+let device = 0x100e
+
+let make_with ~strict (sys : Ksys.t) : Mir.Ast.prog =
+  let off = Ksys.off sys in
+  let priv o = v "priv" +: ii o in
+  let skb_data = ii (off "sk_buff" "data") in
+  let skb_len = ii (off "sk_buff" "len") in
+  let skb_dev = ii (off "sk_buff" "dev") in
+  let napi_poll_off = off "napi_struct" "poll" in
+  let bar_tdh = ii Kernel_sim.Nic.reg_tdh in
+  let bar_tdt = ii Kernel_sim.Nic.reg_tdt in
+  let bar_rdh = ii Kernel_sim.Nic.reg_rdh in
+  let bar_rdt = ii Kernel_sim.Nic.reg_rdt in
+  let tx_ring = ii Kernel_sim.Nic.tx_ring_off in
+  let rx_ring = ii Kernel_sim.Nic.rx_ring_off in
+
+  let funcs =
+    [
+      (* insmod entry point: register with the PCI core. *)
+      func "module_init" []
+        [ expr (call_ext "pci_register_driver" [ glob "e1000_driver" ]); ret0 ];
+      (* Figure 4's module_pci_probe, with the explicit lxfi_check +
+         lxfi_princ_alias sequence from the paper. *)
+      func "e1000_probe" [ "pcidev" ]
+        ([
+           expr (call_ext "lxfi_check:pci_dev" [ v "pcidev" ]);
+           let_ "ndev" (call_ext "alloc_etherdev" [ ii 0 ]);
+           when_ (v "ndev" ==: ii 0) [ ret (ii (-12)) ];
+           let_ "priv" (call_ext "kmalloc" [ ii priv_size ]);
+           when_ (v "priv" ==: ii 0) [ ret (ii (-12)) ];
+           (* one logical principal, three names *)
+           expr (call_ext "lxfi_princ_alias" [ v "pcidev"; v "ndev" ]);
+           expr (call_ext "lxfi_princ_alias" [ v "pcidev"; priv p_napi ]);
+           expr (call_ext "pci_enable_device" [ v "pcidev" ]);
+           expr (call_ext "pci_request_regions" [ v "pcidev" ]);
+           let_ "bar" (load64 (v "pcidev" +: ii (off "pci_dev" "bar0")));
+           store64 (priv p_pcidev) (v "pcidev");
+           store64 (priv p_ndev) (v "ndev");
+           store64 (priv p_bar) (v "bar");
+           store32 (priv p_rx_head) (ii 0);
+           store32 (priv p_tx_clean) (ii 0);
+           expr (call_ext "spin_lock_init" [ priv p_tx_lock ]);
+           (* install our ops table and private state in the kernel's
+              net_device *)
+           store64 (v "ndev" +: ii (off "net_device" "dev_ops")) (glob "e1000_ops");
+           store64 (v "ndev" +: ii (off "net_device" "priv")) (v "priv");
+           (* set up the embedded napi context: the poll pointer is a
+              dynamic function-pointer store, so e1000_poll declares its
+              slot type explicitly (annotation propagation along
+              assignments, §4.2) *)
+           store64 (priv (p_napi + napi_poll_off)) (fn "e1000_poll");
+           expr (call_ext "netif_napi_add" [ v "ndev"; priv p_napi; ii 64 ]);
+           (* interrupt line: the handler pointer is checked against our
+              CALL capabilities at registration (request_irq's contract) *)
+           expr
+             (call_ext "request_irq"
+                [
+                  load32 (v "pcidev" +: ii (off "pci_dev" "irq"));
+                  fn "e1000_irq";
+                  v "ndev";
+                ]);
+           (* reset rings *)
+           store32 (v "bar" +: bar_tdh) (ii 0);
+           store32 (v "bar" +: bar_tdt) (ii 0);
+           store32 (v "bar" +: bar_rdh) (ii 0);
+           store32 (v "bar" +: bar_rdt) (ii 0);
+         ]
+        @ for_ "i" ~from:(ii 0) ~below:(ii 64)
+            [
+              let_ "buf" (call_ext "kmalloc" [ ii 2048 ]);
+              let_ "d" (v "bar" +: rx_ring +: (v "i" *: ii 16));
+              store64 (v "d") (v "buf");
+              store32 (v "d" +: ii 12) (ii 0);
+              store64 (priv p_rx_bufs +: (v "i" *: ii 8)) (v "buf");
+            ]
+        @ [
+            expr (call_ext "register_netdev" [ v "ndev" ]);
+            expr (call_ext "pci_set_drvdata" [ v "pcidev"; v "ndev" ]);
+            ret0;
+          ]);
+      func "e1000_remove" [ "pcidev" ] [ ret0 ];
+      (* hardirq: acknowledge and kick NAPI; runs as the adapter's
+         principal (irq.handler names it by dev_id) *)
+      func "e1000_irq" [ "irq"; "dev_id" ]
+        [
+          let_ "priv" (load64 (v "dev_id" +: ii (off "net_device" "priv")));
+          expr (call_ext "napi_schedule" [ priv p_napi ]);
+          ret (ii 1);
+        ]
+        ~export:"irq.handler";
+      func "e1000_open" [ "dev" ]
+        [ store32 (v "dev" +: ii (off "net_device" "flags")) (ii 1); ret0 ];
+      func "e1000_stop" [ "dev" ]
+        [ store32 (v "dev" +: ii (off "net_device" "flags")) (ii 0); ret0 ];
+      func "e1000_set_rx_mode" [ "dev" ] [ ret0 ];
+      (* Transmit: clean completed descriptors, then post the packet. *)
+      func "e1000_xmit" [ "skb"; "dev" ]
+        [
+          let_ "priv" (load64 (v "dev" +: ii (off "net_device" "priv")));
+          expr (call_ext "spin_lock" [ priv p_tx_lock ]);
+          let_ "bar" (load64 (priv p_bar));
+          (* reclaim descriptors the device has completed *)
+          let_ "clean" (load32 (priv p_tx_clean));
+          let_ "tdh" (load32 (v "bar" +: bar_tdh));
+          while_
+            (v "clean" <>: v "tdh")
+            [
+              let_ "d" (v "bar" +: tx_ring +: (v "clean" *: ii 16));
+              let_ "info" (priv p_tx_info +: (v "clean" *: ii 16));
+              let_ "oskb" (load64 (v "info"));
+              when_ (v "oskb" <>: ii 0)
+                [
+                  expr (call_ext "kfree_skb" [ v "oskb" ]);
+                  store64 (v "info") (ii 0);
+                ];
+              store32 (v "d" +: ii 12) (ii 0);
+              let_ "clean" ((v "clean" +: ii 1) %: ii 64);
+            ];
+          store32 (priv p_tx_clean) (v "clean");
+          (* post the new descriptor *)
+          let_ "tail" (load32 (v "bar" +: bar_tdt));
+          let_ "d" (v "bar" +: tx_ring +: (v "tail" *: ii 16));
+          let_ "data" (load64 (v "skb" +: skb_data));
+          let_ "len" (load32 (v "skb" +: skb_len));
+          store64 (v "d") (v "data");
+          store32 (v "d" +: ii 8) (v "len");
+          store32 (v "d" +: ii 12) (ii 0);
+          let_ "info" (priv p_tx_info +: (v "tail" *: ii 16));
+          store64 (v "info") (v "skb");
+          store32 (v "info" +: ii 8) (v "len");
+          store32 (v "bar" +: bar_tdt) ((v "tail" +: ii 1) %: ii 64);
+          (* ring bookkeeping + software stats *)
+          store64 (priv p_next_to_use) ((v "tail" +: ii 1) %: ii 64);
+          store64 (priv p_last_tx_jiffies) (load64 (priv p_tx_packets));
+          store64 (priv p_tx_packets) (load64 (priv p_tx_packets) +: ii 1);
+          store64 (priv p_tx_bytes) (load64 (priv p_tx_bytes) +: v "len");
+          expr (call_ext "spin_unlock" [ priv p_tx_lock ]);
+          ret0;
+        ];
+      (* NAPI receive: harvest done descriptors, hand packets up,
+         replenish buffers.  The napi context is embedded in priv. *)
+      func "e1000_poll" [ "napi"; "budget" ]
+        [
+          let_ "priv" (v "napi" -: ii p_napi);
+          let_ "bar" (load64 (priv p_bar));
+          let_ "head" (load32 (priv p_rx_head));
+          let_ "work" (ii 0);
+          let_ "cont" (ii 1);
+          while_
+            (v "cont" &: (v "work" <: v "budget"))
+            [
+              let_ "d" (v "bar" +: rx_ring +: (v "head" *: ii 16));
+              let_ "sta" (load32 (v "d" +: ii 12));
+              if_
+                (v "sta" &: ii 1)
+                ([
+                   let_ "buf" (load64 (priv p_rx_bufs +: (v "head" *: ii 8)));
+                   let_ "len" (load32 (v "d" +: ii 8));
+                 ]
+                @ (if strict then
+                     (* Guideline 4 (§6): the driver holds only
+                        REF(sk_buff_fields) + payload WRITE; the kernel
+                        mutates the struct through accessors *)
+                     [
+                       let_ "skb" (call_ext "build_skb_strict" [ v "buf"; v "len" ]);
+                       expr (call_ext "skb_set_dev" [ v "skb"; load64 (priv p_ndev) ]);
+                       expr (call_ext "netif_rx_strict" [ v "skb" ]);
+                     ]
+                   else
+                     [
+                       let_ "skb" (call_ext "build_skb" [ v "buf"; v "len" ]);
+                       store64 (v "skb" +: skb_dev) (load64 (priv p_ndev));
+                       expr (call_ext "netif_rx" [ v "skb" ]);
+                     ])
+                @ [
+                    (* replenish *)
+                    let_ "nbuf" (call_ext "kmalloc" [ ii 2048 ]);
+                    store64 (v "d") (v "nbuf");
+                    store32 (v "d" +: ii 12) (ii 0);
+                    store64 (priv p_rx_bufs +: (v "head" *: ii 8)) (v "nbuf");
+                    store64 (priv p_rx_packets) (load64 (priv p_rx_packets) +: ii 1);
+                    let_ "head" ((v "head" +: ii 1) %: ii 64);
+                    let_ "work" (v "work" +: ii 1);
+                  ])
+                [ let_ "cont" (ii 0) ];
+            ];
+          store32 (priv p_rx_head) (v "head");
+          store32 (v "bar" +: bar_rdh) (v "head");
+          ret (v "work");
+        ]
+        ~export:"napi.poll";
+    ]
+  in
+  let globals =
+    [
+      global "e1000_driver" (Ksys.sizeof sys "pci_driver") ~struct_:"pci_driver"
+        ~init:
+          [
+            init_int ~w:Mir.Ast.W32 (off "pci_driver" "vendor") vendor;
+            init_int ~w:Mir.Ast.W32 (off "pci_driver" "device") device;
+            init_func (off "pci_driver" "probe") "e1000_probe";
+            init_func (off "pci_driver" "remove") "e1000_remove";
+          ];
+      global "e1000_ops" (Ksys.sizeof sys "net_device_ops") ~struct_:"net_device_ops"
+        ~init:
+          [
+            init_func (off "net_device_ops" "ndo_open") "e1000_open";
+            init_func (off "net_device_ops" "ndo_stop") "e1000_stop";
+            init_func (off "net_device_ops" "ndo_start_xmit") "e1000_xmit";
+            init_func (off "net_device_ops" "ndo_set_rx_mode") "e1000_set_rx_mode";
+          ];
+    ]
+  in
+  prog (if strict then "e1000_strict" else "e1000")
+    ~imports:
+      ((if strict then [ "build_skb_strict"; "skb_set_dev"; "netif_rx_strict" ] else [])
+      @ [
+        "pci_register_driver";
+        "pci_enable_device";
+        "pci_request_regions";
+        "pci_set_drvdata";
+        "alloc_etherdev";
+        "register_netdev";
+        "netif_napi_add";
+        "napi_schedule";
+        "request_irq";
+        "netif_rx";
+        "build_skb";
+        "kmalloc";
+        "kfree_skb";
+        "spin_lock_init";
+        "spin_lock";
+        "spin_unlock";
+        "lxfi_check:pci_dev";
+        "lxfi_princ_alias";
+      ])
+    ~globals ~funcs
+
+let make = make_with ~strict:false
+
+let spec : Mod_common.spec =
+  {
+    Mod_common.name = "e1000";
+    category = "net device driver";
+    make;
+    init = Mod_common.run_module_init;
+    slot_types =
+      [
+        "pci_driver.probe";
+        "pci_driver.remove";
+        "net_device_ops.ndo_open";
+        "net_device_ops.ndo_stop";
+        "net_device_ops.ndo_start_xmit";
+        "net_device_ops.ndo_set_rx_mode";
+        "napi.poll";
+        "irq.handler";
+      ];
+  }
+
+(** Guideline 4 variant: the receive path uses the strict sk_buff API,
+    so the driver's principals never hold WRITE over sk_buff structs it
+    hands to the stack (kernel-side field accessors instead). *)
+let spec_strict : Mod_common.spec =
+  {
+    spec with
+    Mod_common.name = "e1000_strict";
+    make = make_with ~strict:true;
+  }
+
+(** Address of the adapter's embedded napi context, from the device's
+    private state. *)
+let napi_addr (sys : Ksys.t) ~pcidev =
+  let kst = sys.Ksys.kst in
+  let ndev = Kernel_sim.Pci.pci_get_drvdata sys.Ksys.pci pcidev in
+  let priv =
+    Kernel_sim.Kmem.read_ptr kst.Kernel_sim.Kstate.mem
+      (ndev + Ksys.off sys "net_device" "priv")
+  in
+  priv + p_napi

@@ -1,0 +1,84 @@
+(** The Econet protocol module, carrying CVE-2010-3849/3850.
+
+    The real bugs let an unprivileged user reach a NULL-pointer
+    dereference in [econet_sendmsg] from a context in which the task's
+    address limit is KERNEL_DS (the sendpage path).  Combined with the
+    core kernel's CVE-2010-4258 ([do_exit] writing a zero through
+    [clear_child_tid] without resetting the address limit), the oops
+    becomes a 4-byte arbitrary kernel write, which the published
+    exploit aims at the upper half of [econet_ops.ioctl] to bend the
+    pointer into attacker-mapped user memory.
+
+    The module reproduces the trigger: a crafted flags value takes the
+    unchecked "AUN" path and dereferences the unset remote-address
+    pointer (NULL).  [econet_ops] is a plain writable [.data] object,
+    as in the original. *)
+
+open Mir.Builder
+
+let family = Kernel_sim.Sockets.af_econet
+
+(* sk payload: +32 remote-address pointer (NULL until connected). *)
+let sk_remote = Proto_common.sk_user
+
+(* The crafted msg_flags value that drives sendmsg down the AUN path. *)
+let crafted_flags = 0xec0
+
+let sendmsg sys =
+  [
+    let_ "sk" (Proto_common.sk_of sys (v "sock"));
+    if_
+      (v "flags" ==: ii crafted_flags)
+      [
+        (* CVE-2010-3849: the AUN path uses the remote address without
+           checking it was ever set — NULL dereference. *)
+        let_ "remote" (load64 (v "sk" +: ii sk_remote));
+        let_ "port" (load32 (v "remote" +: ii 4));
+        ret (v "port");
+      ]
+      [
+        (* normal path: stage the payload in the sk buffer *)
+        when_
+          (load64 (v "sk" +: ii Proto_common.sk_buf) ==: ii 0)
+          [
+            let_ "nb" (call_ext "kmalloc" [ ii 128 ]);
+            when_ (v "nb" ==: ii 0) [ ret (ii (-12)) ];
+            store64 (v "sk" +: ii Proto_common.sk_buf) (v "nb");
+          ];
+        let_ "n" (v "len");
+        when_ (v "n" >: ii 128) [ let_ "n" (ii 128) ];
+        expr
+          (call_ext "copy_from_user"
+             [ load64 (v "sk" +: ii Proto_common.sk_buf); v "buf"; v "n" ]);
+        store32 (v "sk" +: ii Proto_common.sk_buf_len) (v "n");
+        ret (v "n");
+      ];
+  ]
+
+let recvmsg sys =
+  [
+    let_ "sk" (Proto_common.sk_of sys (v "sock"));
+    let_ "src" (load64 (v "sk" +: ii Proto_common.sk_buf));
+    when_ (v "src" ==: ii 0) [ ret (ii (-11)) ];
+    let_ "n" (load32 (v "sk" +: ii Proto_common.sk_buf_len));
+    when_ (v "n" >: v "len") [ let_ "n" (v "len") ];
+    expr (call_ext "copy_to_user" [ v "buf"; v "src"; v "n" ]);
+    ret (v "n");
+  ]
+
+let ioctl _sys = [ ret0 ]
+
+let make (sys : Ksys.t) =
+  Proto_common.make sys ~name:"econet" ~family ~ops_section:Mir.Ast.Data ~sk_size:64
+    ~sendmsg ~recvmsg ~ioctl
+    ~extra_imports:[ "copy_from_user"; "copy_to_user" ]
+    ()
+
+let spec : Mod_common.spec =
+  {
+    Mod_common.name = "econet";
+    category = "net protocol driver";
+    make;
+    init = Mod_common.run_module_init;
+    slot_types = Proto_common.proto_slot_types;
+  }

@@ -1,0 +1,160 @@
+(** Shared skeleton for the network-protocol modules (rds, econet, can,
+    can-bcm).
+
+    Each protocol module registers a [net_proto_family], installs a
+    [proto_ops] table, allocates a private per-socket object ("sk") on
+    create, and maintains a {e module-global} linked list of all its
+    sockets.  The list is the paper's §3.1 motivating example for the
+    global principal: each socket's [next] pointer lives inside memory
+    owned by a {e different} instance principal, so linking and
+    unlinking must run as the module's global principal — the skeleton
+    funnels those operations through [link_socket]/[unlink_socket],
+    which call [lxfi_switch_global] after a structural sanity check. *)
+
+open Mir.Builder
+
+(* Private sk layout: the per-module payload starts at [sk_user]. *)
+let sk_next = 0
+let sk_sock = 8
+let sk_state = 16
+let sk_buf_len = 20
+let sk_buf = 24
+let sk_user = 32
+
+type body = Ksys.t -> Mir.Ast.stmt list
+(** Operation bodies receive the booted system (for struct offsets) and
+    run with parameters [sock buf len flags] (sendmsg/recvmsg),
+    [sock cmd arg] (ioctl). *)
+
+let base_imports =
+  [ "sock_register"; "sock_unregister"; "kmalloc"; "kfree"; "lxfi_switch_global"; "printk" ]
+
+(** [sk_of sys sock_expr] — load the private sk pointer from the kernel
+    socket object. *)
+let sk_of sys sock_expr = load64 (sock_expr +: ii (Ksys.off sys "socket" "sk"))
+
+let make (sys : Ksys.t) ~name ~family ~ops_section ~sk_size
+    ~(sendmsg : body) ~(recvmsg : body) ~(ioctl : body) ?(extra_funcs = [])
+    ?(extra_globals = []) ?(extra_imports = []) () : Mir.Ast.prog =
+  let off = Ksys.off sys in
+  let g suffix = name ^ "_" ^ suffix in
+  let head = glob (g "list_head") in
+  let funcs =
+    [
+      func "module_init" []
+        [ expr (call_ext "sock_register" [ glob (g "npf") ]); ret0 ];
+      (* rmmod entry point: unregister the family so the kernel holds
+         no pointers into this module afterwards *)
+      func "module_exit" []
+        [ expr (call_ext "sock_unregister" [ ii family ]); ret0 ];
+      (* net_proto_family.create: runs as the new socket's instance
+         principal; shared state is touched only via link_socket. *)
+      func (g "create") [ "sock"; "type" ]
+        [
+          let_ "sk" (call_ext "kmalloc" [ ii sk_size ]);
+          when_ (v "sk" ==: ii 0) [ ret (ii (-12)) ];
+          store64 (v "sock" +: ii (off "socket" "ops")) (glob (g "ops"));
+          store64 (v "sock" +: ii (off "socket" "sk")) (v "sk");
+          store64 (v "sk" +: ii sk_sock) (v "sock");
+          expr (call (g "link_socket") [ v "sk" ]);
+          ret0;
+        ];
+      (* Cross-instance list insertion: global-principal work (§3.1).
+         The preceding structural check is the programmer's "adequate
+         check" guarding the privilege switch (§3.4): a forged sk whose
+         back-pointer does not close the loop never reaches the
+         switch. *)
+      func (g "link_socket") [ "sk" ]
+        [
+          let_ "back" (load64 (load64 (v "sk" +: ii sk_sock) +: ii (off "socket" "sk")));
+          when_ (v "back" <>: v "sk") [ ret (ii (-22)) ];
+          expr (call_ext "lxfi_switch_global" []);
+          store64 (v "sk" +: ii sk_next) (load64 head);
+          store64 head (v "sk");
+          ret0;
+        ];
+      func (g "unlink_socket") [ "sk" ]
+        [
+          let_ "back" (load64 (load64 (v "sk" +: ii sk_sock) +: ii (off "socket" "sk")));
+          when_ (v "back" <>: v "sk") [ ret (ii (-22)) ];
+          expr (call_ext "lxfi_switch_global" []);
+          let_ "cur" (load64 head);
+          if_ (v "cur" ==: v "sk")
+            [ store64 head (load64 (v "sk" +: ii sk_next)) ]
+            [
+              (* walk until the predecessor of sk; MIR's & is strict,
+                 so the loop advances via an explicit cursor reset *)
+              while_ (v "cur" <>: ii 0)
+                [
+                  let_ "nxt" (load64 (v "cur" +: ii sk_next));
+                  if_ (v "nxt" ==: v "sk")
+                    [
+                      store64 (v "cur" +: ii sk_next)
+                        (load64 (v "sk" +: ii sk_next));
+                      let_ "cur" (ii 0);
+                    ]
+                    [ let_ "cur" (v "nxt") ];
+                ];
+            ];
+          ret0;
+        ];
+      func (g "release") [ "sock" ]
+        [
+          let_ "sk" (sk_of sys (v "sock"));
+          when_ (v "sk" <>: ii 0)
+            [
+              expr (call (g "unlink_socket") [ v "sk" ]);
+              let_ "buf" (load64 (v "sk" +: ii sk_buf));
+              when_ (v "buf" <>: ii 0) [ expr (call_ext "kfree" [ v "buf" ]) ];
+              expr (call_ext "kfree" [ v "sk" ]);
+              store64 (v "sock" +: ii (off "socket" "sk")) (ii 0);
+            ];
+          ret0;
+        ];
+      func (g "bind") [ "sock"; "addr"; "alen" ]
+        [
+          let_ "sk" (sk_of sys (v "sock"));
+          store32 (v "sk" +: ii sk_state) (ii 1);
+          ret0;
+        ];
+      func (g "sendmsg") [ "sock"; "buf"; "len"; "flags" ] (sendmsg sys);
+      func (g "recvmsg") [ "sock"; "buf"; "len"; "flags" ] (recvmsg sys);
+      func (g "ioctl") [ "sock"; "cmd"; "arg" ] (ioctl sys);
+    ]
+    @ extra_funcs
+  in
+  let globals =
+    [
+      global (g "npf") (Ksys.sizeof sys "net_proto_family") ~struct_:"net_proto_family"
+        ~init:
+          [
+            init_int ~w:Mir.Ast.W32 (off "net_proto_family" "family") family;
+            init_func (off "net_proto_family" "create") (g "create");
+          ];
+      global (g "ops") (Ksys.sizeof sys "proto_ops") ~section:ops_section
+        ~struct_:"proto_ops"
+        ~init:
+          [
+            init_func (off "proto_ops" "release") (g "release");
+            init_func (off "proto_ops" "bind") (g "bind");
+            init_func (off "proto_ops" "ioctl") (g "ioctl");
+            init_func (off "proto_ops" "sendmsg") (g "sendmsg");
+            init_func (off "proto_ops" "recvmsg") (g "recvmsg");
+          ];
+      global (g "list_head") 8;
+    ]
+    @ extra_globals
+  in
+  prog name
+    ~imports:(List.sort_uniq compare (base_imports @ extra_imports))
+    ~globals ~funcs
+
+let proto_slot_types =
+  [
+    "net_proto_family.create";
+    "proto_ops.release";
+    "proto_ops.bind";
+    "proto_ops.ioctl";
+    "proto_ops.sendmsg";
+    "proto_ops.recvmsg";
+  ]

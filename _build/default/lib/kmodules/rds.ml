@@ -1,0 +1,81 @@
+(** The RDS (Reliable Datagram Sockets) protocol module, carrying
+    CVE-2010-3904.
+
+    The vulnerability, exactly as in [net/rds/page.c]: the receive path
+    copies message payload to the user-supplied destination with the
+    {e unchecked} copy primitive ([__copy_to_user_inatomic]), trusting
+    the pointer without an [access_ok] test.  A local attacker passes a
+    kernel address and obtains an arbitrary kernel write, then uses it
+    to overwrite [rds_proto_ops.ioctl] and has the kernel call user
+    code.
+
+    LXFI-relevant structure, per §8.1:
+    - [rds_ops] lives in [.rodata] — the module never receives a WRITE
+      capability for it, so the first prevention path is that the
+      arbitrary write itself is refused (the annotation on
+      [__copy_to_user_inatomic] demands WRITE on the destination);
+    - even when the table is made writable (the paper's second
+      experiment — [Rds.spec_writable_ops]), the kernel's indirect-call
+      check refuses to call a target the writer lacks a CALL capability
+      for. *)
+
+open Mir.Builder
+
+let family = Kernel_sim.Sockets.af_rds
+let msg_max = 256
+
+let sendmsg sys =
+  let _ = sys in
+  [
+    let_ "sk" (Proto_common.sk_of sys (v "sock"));
+    (* first message allocates the reassembly buffer *)
+    when_
+      (load64 (v "sk" +: ii Proto_common.sk_buf) ==: ii 0)
+      [
+        let_ "nb" (call_ext "kmalloc" [ ii msg_max ]);
+        when_ (v "nb" ==: ii 0) [ ret (ii (-12)) ];
+        store64 (v "sk" +: ii Proto_common.sk_buf) (v "nb");
+      ];
+    let_ "n" (v "len");
+    when_ (v "n" >: ii msg_max) [ let_ "n" (ii msg_max) ];
+    let_ "dst" (load64 (v "sk" +: ii Proto_common.sk_buf));
+    expr (call_ext "copy_from_user" [ v "dst"; v "buf"; v "n" ]);
+    store32 (v "sk" +: ii Proto_common.sk_buf_len) (v "n");
+    ret (v "n");
+  ]
+
+(* CVE-2010-3904: [buf] is used as a destination with no access check. *)
+let recvmsg sys =
+  [
+    let_ "sk" (Proto_common.sk_of sys (v "sock"));
+    let_ "src" (load64 (v "sk" +: ii Proto_common.sk_buf));
+    when_ (v "src" ==: ii 0) [ ret (ii (-11)) ];
+    let_ "n" (load32 (v "sk" +: ii Proto_common.sk_buf_len));
+    when_ (v "n" >: v "len") [ let_ "n" (v "len") ];
+    expr (call_ext "__copy_to_user_inatomic" [ v "buf"; v "src"; v "n" ]);
+    ret (v "n");
+  ]
+
+let ioctl _sys = [ ret (ii (-25)) ]
+
+let make_with ~ops_section (sys : Ksys.t) =
+  Proto_common.make sys ~name:"rds" ~family ~ops_section ~sk_size:64 ~sendmsg
+    ~recvmsg ~ioctl
+    ~extra_imports:[ "copy_from_user"; "__copy_to_user_inatomic" ]
+    ()
+
+let make = make_with ~ops_section:Mir.Ast.Rodata
+
+let spec : Mod_common.spec =
+  {
+    Mod_common.name = "rds";
+    category = "net protocol driver";
+    make;
+    init = Mod_common.run_module_init;
+    slot_types = Proto_common.proto_slot_types;
+  }
+
+(** Variant with a writable ops table — the paper's second RDS
+    experiment ("we made this memory location writable"). *)
+let spec_writable_ops : Mod_common.spec =
+  { spec with make = make_with ~ops_section:Mir.Ast.Data }

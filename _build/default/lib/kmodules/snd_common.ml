@@ -1,0 +1,132 @@
+(** Shared builder for the two PCI sound drivers (snd-intel8x0 and
+    snd-ens1370).
+
+    Probe creates the card via the annotated [snd_card_create] export
+    (which grants WRITE on the card and its DMA area plus the
+    registration REF through the [snd_card_caps] iterator), aliases the
+    card to the PCI instance principal, installs the [snd_pcm_ops]
+    table, and registers the card.  Playback fills the DMA area from
+    the pointer callback — a burst of guarded stores per period, which
+    is the module's performance signature. *)
+
+open Mir.Builder
+
+(* priv layout (.bss) *)
+let p_pcidev = 0
+let p_card = 8
+let p_pos = 16
+let p_periods = 24
+let p_port = 32
+let priv_size = 40
+
+let make (sys : Ksys.t) ~name ~vendor ~device ~dma_bytes ~fill_words : Mir.Ast.prog =
+  let off = Ksys.off sys in
+  let g suffix = name ^ "_" ^ suffix in
+  let priv o = glob (g "priv") +: ii o in
+  let funcs =
+    [
+      func "module_init" []
+        [ expr (call_ext "pci_register_driver" [ glob (g "driver") ]); ret0 ];
+      func (g "probe") [ "pcidev" ]
+        [
+          expr (call_ext "lxfi_check:pci_dev" [ v "pcidev" ]);
+          expr (call_ext "pci_enable_device" [ v "pcidev" ]);
+          let_ "card" (call_ext "snd_card_create" [ ii dma_bytes ]);
+          when_ (v "card" ==: ii 0) [ ret (ii (-12)) ];
+          expr (call_ext "lxfi_princ_alias" [ v "pcidev"; v "card" ]);
+          store64 (v "card" +: ii (off "snd_card" "pcm_ops")) (glob (g "pcm_ops"));
+          (* the codec lives behind legacy I/O ports: the REF(io_port)
+             granted here is what lets trigger/pointer poke them *)
+          let_ "port" (call_ext "pci_request_ioport" [ v "pcidev" ]);
+          store64 (priv p_port) (v "port");
+          store64 (priv p_pcidev) (v "pcidev");
+          store64 (priv p_card) (v "card");
+          store64 (priv p_pos) (ii 0);
+          expr (call_ext "snd_card_register" [ v "card" ]);
+          ret0;
+        ];
+      func (g "remove") [ "pcidev" ] [ ret0 ];
+      func (g "pcm_open") [ "card" ] [ store64 (priv p_pos) (ii 0); ret0 ];
+      func (g "pcm_close") [ "card" ] [ ret0 ];
+      func (g "pcm_trigger") [ "card"; "cmd" ]
+        [
+          store32 (v "card" +: ii (off "snd_card" "running")) (v "cmd");
+          (* codec run/stop command via port I/O *)
+          expr (call_ext "outb" [ load64 (priv p_port); v "cmd" ]);
+          ret0;
+        ];
+      (* The hardware-pointer callback: report position and refill one
+         period of samples into the DMA area. *)
+      func (g "pcm_pointer") [ "card" ]
+        ([
+           when_
+             (load32 (v "card" +: ii (off "snd_card" "running")) ==: ii 0)
+             [ ret (load64 (priv p_pos)) ];
+           let_ "dma" (load64 (v "card" +: ii (off "snd_card" "dma_area")));
+           let_ "pos" (load64 (priv p_pos));
+           (* hardware status register; REF(io_port) is exact-match, so
+              the driver may only name the port it was granted *)
+           let_ "hw" (call_ext "inb" [ load64 (priv p_port) ]);
+         ]
+        @ for_ "i" ~from:(ii 0) ~below:(ii fill_words)
+            [
+              store64
+                (v "dma" +: ((v "pos" +: (v "i" *: ii 8)) %: ii dma_bytes))
+                ((v "pos" +: v "i") *: i 0x5deece66dL);
+            ]
+        @ [
+            let_ "pos" ((v "pos" +: ii (fill_words * 8)) %: ii dma_bytes);
+            store64 (priv p_pos) (v "pos");
+            store64 (priv p_periods) (load64 (priv p_periods) +: ii 1);
+            expr (call_ext "snd_pcm_period_elapsed" [ v "card" ]);
+            ret (v "pos");
+          ]);
+    ]
+  in
+  let globals =
+    [
+      global (g "driver") (Ksys.sizeof sys "pci_driver") ~struct_:"pci_driver"
+        ~init:
+          [
+            init_int ~w:Mir.Ast.W32 (off "pci_driver" "vendor") vendor;
+            init_int ~w:Mir.Ast.W32 (off "pci_driver" "device") device;
+            init_func (off "pci_driver" "probe") (g "probe");
+            init_func (off "pci_driver" "remove") (g "remove");
+          ];
+      global (g "pcm_ops") (Ksys.sizeof sys "snd_pcm_ops") ~struct_:"snd_pcm_ops"
+        ~init:
+          [
+            init_func (off "snd_pcm_ops" "open") (g "pcm_open");
+            init_func (off "snd_pcm_ops" "close") (g "pcm_close");
+            init_func (off "snd_pcm_ops" "trigger") (g "pcm_trigger");
+            init_func (off "snd_pcm_ops" "pointer") (g "pcm_pointer");
+          ];
+      global (g "priv") priv_size ~section:Mir.Ast.Bss;
+    ]
+  in
+  prog name
+    ~imports:
+      [
+        "pci_register_driver";
+        "pci_enable_device";
+        "snd_card_create";
+        "snd_card_register";
+        "snd_pcm_period_elapsed";
+        "pci_request_ioport";
+        "outb";
+        "inb";
+        "lxfi_check:pci_dev";
+        "lxfi_princ_alias";
+        "printk";
+      ]
+    ~globals ~funcs
+
+let slot_types =
+  [
+    "pci_driver.probe";
+    "pci_driver.remove";
+    "snd_pcm_ops.open";
+    "snd_pcm_ops.close";
+    "snd_pcm_ops.trigger";
+    "snd_pcm_ops.pointer";
+  ]

@@ -1,0 +1,17 @@
+(** snd-ens1370: Ensoniq AudioPCI driver (PCI 1274:5000). *)
+
+let vendor = 0x1274
+let device = 0x5000
+
+let make sys =
+  Snd_common.make sys ~name:"snd_ens1370" ~vendor ~device ~dma_bytes:2048
+    ~fill_words:32
+
+let spec : Mod_common.spec =
+  {
+    Mod_common.name = "snd_ens1370";
+    category = "sound device driver";
+    make;
+    init = Mod_common.run_module_init;
+    slot_types = Snd_common.slot_types;
+  }

@@ -1,0 +1,6 @@
+(** snd-ens1370: Ensoniq AudioPCI driver (PCI 1274:5000). *)
+
+val vendor : int
+val device : int
+val make : Ksys.t -> Mir.Ast.prog
+val spec : Mod_common.spec

@@ -1,0 +1,17 @@
+(** snd-intel8x0: Intel AC'97 audio controller driver (PCI 8086:2415). *)
+
+let vendor = 0x8086
+let device = 0x2415
+
+let make sys =
+  Snd_common.make sys ~name:"snd_intel8x0" ~vendor ~device ~dma_bytes:4096
+    ~fill_words:64
+
+let spec : Mod_common.spec =
+  {
+    Mod_common.name = "snd_intel8x0";
+    category = "sound device driver";
+    make;
+    init = Mod_common.run_module_init;
+    slot_types = Snd_common.slot_types;
+  }

@@ -1,0 +1,6 @@
+(** snd-intel8x0: Intel AC'97 audio controller driver (PCI 8086:2415). *)
+
+val vendor : int
+val device : int
+val make : Ksys.t -> Mir.Ast.prog
+val spec : Mod_common.spec

@@ -1,0 +1,1 @@
+lib/lxfi/capability.ml: Fmt

@@ -1,0 +1,1 @@
+lib/lxfi/captable.ml: Fmt Hashtbl List Option

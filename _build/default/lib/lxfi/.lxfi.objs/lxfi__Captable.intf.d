@@ -1,0 +1,1 @@
+lib/lxfi/captable.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/lxfi/config.ml: Fmt

@@ -1,0 +1,1 @@
+lib/lxfi/inspect.ml: Captable Config Fmt Hashtbl List Mir Principal Printf Runtime Shadow_stack Stats String Writer_set

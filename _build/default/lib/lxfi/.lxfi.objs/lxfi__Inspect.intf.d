@@ -1,0 +1,1 @@
+lib/lxfi/inspect.mli: Format Runtime Stats

@@ -1,0 +1,1 @@
+lib/lxfi/loader.ml: Annot Capability Config Format Hashtbl Int64 Kernel_sim Klog Kmem Kstate Ksym Ktypes List Mir Principal Printf Rewriter Runtime String

@@ -1,0 +1,1 @@
+lib/lxfi/loader.mli: Mir Rewriter Runtime

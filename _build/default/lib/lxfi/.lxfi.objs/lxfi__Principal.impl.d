@@ -1,0 +1,1 @@
+lib/lxfi/principal.ml: Captable Fmt Printf

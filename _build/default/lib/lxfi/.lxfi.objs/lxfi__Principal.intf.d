@@ -1,0 +1,1 @@
+lib/lxfi/principal.mli: Captable Format

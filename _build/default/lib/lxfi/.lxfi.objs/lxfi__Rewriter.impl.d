@@ -1,0 +1,1 @@
+lib/lxfi/rewriter.ml: Config Fmt Format Hashtbl Int64 List Mir Printf

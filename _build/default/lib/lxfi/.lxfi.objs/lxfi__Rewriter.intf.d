@@ -1,0 +1,1 @@
+lib/lxfi/rewriter.mli: Config Format Mir

@@ -1,0 +1,1 @@
+lib/lxfi/runtime.ml: Annot Capability Captable Config Fmt Hashtbl Int64 Kcycles Kernel_sim Klog Kmem Kstate Ksym Ktypes List Mir Principal Printf Shadow_stack Stats Violation Writer_set

@@ -1,0 +1,1 @@
+lib/lxfi/runtime.mli: Annot Capability Config Hashtbl Kernel_sim Kstate Mir Principal Shadow_stack Stats Writer_set

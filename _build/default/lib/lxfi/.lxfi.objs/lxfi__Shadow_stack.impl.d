@@ -1,0 +1,1 @@
+lib/lxfi/shadow_stack.ml: List Principal Violation

@@ -1,0 +1,1 @@
+lib/lxfi/stats.ml: Fmt

@@ -1,0 +1,1 @@
+lib/lxfi/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/lxfi/violation.ml: Fmt Format Kernel_sim

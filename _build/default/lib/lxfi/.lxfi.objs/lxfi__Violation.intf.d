@@ -1,0 +1,1 @@
+lib/lxfi/violation.mli: Format

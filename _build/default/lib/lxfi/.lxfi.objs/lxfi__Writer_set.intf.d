@@ -1,0 +1,1 @@
+lib/lxfi/writer_set.mli: Hashtbl

@@ -1,0 +1,24 @@
+(** The three capability types of §3.2.
+
+    - [Cwrite (ptr, size)] — may write any values to
+      [ptr, ptr+size) and pass interior addresses to kernel routines
+      that require writable memory.
+    - [Cref (t, a)] — may pass [a] where the API demands a REF of type
+      [t] (object ownership without write access).
+    - [Ccall a] — may call or jump to address [a]. *)
+
+type t =
+  | Cwrite of { base : int; size : int }
+  | Cref of { rtype : string; addr : int }
+  | Ccall of { target : int }
+
+let write ~base ~size = Cwrite { base; size }
+let ref_ ~rtype ~addr = Cref { rtype; addr }
+let call ~target = Ccall { target }
+
+let pp ppf = function
+  | Cwrite { base; size } -> Fmt.pf ppf "WRITE(0x%x,+%d)" base size
+  | Cref { rtype; addr } -> Fmt.pf ppf "REF(%s,0x%x)" rtype addr
+  | Ccall { target } -> Fmt.pf ppf "CALL(0x%x)" target
+
+let to_string c = Fmt.str "%a" pp c

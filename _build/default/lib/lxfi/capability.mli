@@ -1,0 +1,18 @@
+(** The three capability types of paper §3.2. *)
+
+type t =
+  | Cwrite of { base : int; size : int }
+      (** may write any values to [base, base+size) and pass interior
+          addresses to kernel routines that require writable memory *)
+  | Cref of { rtype : string; addr : int }
+      (** may pass [addr] where the API demands a REF of type [rtype]
+          (object ownership without write access); [rtype] is usually a
+          struct name but can be a special type such as [io_port]
+          (Guideline 3) *)
+  | Ccall of { target : int }  (** may call or jump to [target] *)
+
+val write : base:int -> size:int -> t
+val ref_ : rtype:string -> addr:int -> t
+val call : target:int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

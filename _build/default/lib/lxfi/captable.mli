@@ -1,0 +1,67 @@
+(** Per-principal capability tables (paper §5, "Capability table").
+
+    One table per capability type (WRITE / CALL / REF).  WRITE
+    capabilities are address ranges; following the paper, each range is
+    inserted into every hash slot it covers after masking the low 12
+    address bits, so the hot covering-range query costs one bucket
+    lookup.  Ranges covering many pages (in practice only the blanket
+    user-space window) are kept on a short linear list instead. *)
+
+type wentry = { base : int; size : int }
+(** A WRITE capability's range. *)
+
+type t = {
+  writes : (int, wentry list) Hashtbl.t;  (** page slot -> covering entries *)
+  mutable big : wentry list;  (** oversized ranges, checked linearly *)
+  calls : (int, unit) Hashtbl.t;
+  refs : (string * int, unit) Hashtbl.t;
+}
+
+val slot_shift : int
+(** Low bits masked when hashing WRITE ranges (12 = page granularity). *)
+
+val big_range_pages : int
+(** Ranges covering at least this many pages go on the linear list. *)
+
+val create : unit -> t
+
+(** {1 WRITE capabilities} *)
+
+val add_write : t -> base:int -> size:int -> unit
+(** Insert a WRITE capability for [base, base+size); idempotent for an
+    identical range.  Raises [Invalid_argument] when [size <= 0]. *)
+
+val has_write : t -> addr:int -> size:int -> bool
+(** Is [addr, addr+size) covered by a single WRITE capability? *)
+
+val find_write_covering : t -> addr:int -> wentry option
+(** The entry covering the single address [addr], if any (used to
+    answer "who wrote this function-pointer slot"). *)
+
+val remove_write_intersecting : t -> base:int -> size:int -> int
+(** Remove every WRITE entry overlapping [base, base+size) — transfer
+    semantics (§3.3).  A blanket ("big") range is only removed when the
+    revocation range contains it entirely.  Returns the number of
+    distinct entries removed. *)
+
+val fold_writes : t -> ('a -> base:int -> size:int -> 'a) -> 'a -> 'a
+(** Fold over distinct WRITE entries (each range visited once). *)
+
+val write_count : t -> int
+
+(** {1 CALL capabilities} *)
+
+val add_call : t -> target:int -> unit
+val has_call : t -> target:int -> bool
+val remove_call : t -> target:int -> unit
+val call_count : t -> int
+val fold_calls : t -> ('a -> target:int -> 'a) -> 'a -> 'a
+
+(** {1 REF capabilities} *)
+
+val add_ref : t -> rtype:string -> addr:int -> unit
+val has_ref : t -> rtype:string -> addr:int -> bool
+val remove_ref : t -> rtype:string -> addr:int -> unit
+val ref_count : t -> int
+
+val pp : Format.formatter -> t -> unit

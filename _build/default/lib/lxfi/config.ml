@@ -1,0 +1,46 @@
+(** Enforcement configuration.
+
+    [mode] selects which system the simulation runs:
+
+    - [Stock]: an uninstrumented kernel+module — the baseline all
+      exploits succeed against.
+    - [Xfi]: memory safety + module-side CFI only, in the spirit of
+      XFI [Erlingsson et al., OSDI'06].  Modules can only write memory
+      they own and call imports/own functions, but kernel APIs are not
+      annotated (no argument contracts, no REF checks), the kernel does
+      not interpose on its own indirect calls, and there are no
+      principals.  This is the ablation that shows why API integrity is
+      needed: confused-deputy attacks through permissive kernel APIs
+      (RDS) and module-supplied corrupted pointers invoked by the
+      kernel (Econet) still succeed.
+    - [Lxfi]: the full system of the paper.
+
+    The [opt_*] flags expose the paper's performance mechanisms for the
+    ablation benchmarks: writer-set tracking (§5), guard elision for
+    provably-safe stores, and trivial-function inlining (§8.3). *)
+
+type mode = Stock | Xfi | Lxfi
+
+type t = {
+  mode : mode;
+  writer_set_tracking : bool;  (** fast-path elision of kernel ind-call checks *)
+  opt_elide_safe_writes : bool;  (** drop guards on in-bounds constant-offset stack stores *)
+  opt_inline_trivial : bool;  (** inline trivial functions before guarding *)
+}
+
+let lxfi =
+  {
+    mode = Lxfi;
+    writer_set_tracking = true;
+    opt_elide_safe_writes = true;
+    opt_inline_trivial = true;
+  }
+
+let stock = { lxfi with mode = Stock }
+let xfi = { lxfi with mode = Xfi }
+
+let mode_name = function Stock -> "stock" | Xfi -> "xfi" | Lxfi -> "lxfi"
+
+let pp ppf t =
+  Fmt.pf ppf "%s(ws=%b,elide=%b,inline=%b)" (mode_name t.mode) t.writer_set_tracking
+    t.opt_elide_safe_writes t.opt_inline_trivial

@@ -1,0 +1,31 @@
+(** Enforcement configuration: which system the simulation runs and
+    which of the paper's optimizations are active. *)
+
+type mode =
+  | Stock  (** no instrumentation, no checks — the exploitable baseline *)
+  | Xfi
+      (** memory safety + module-side CFI only (the XFI-style ablation):
+          no API-integrity annotations, no principals, no kernel-side
+          indirect-call interposition *)
+  | Lxfi  (** the full system of the paper *)
+
+type t = {
+  mode : mode;
+  writer_set_tracking : bool;
+      (** §4.1/§5 fast path eliding kernel indirect-call checks *)
+  opt_elide_safe_writes : bool;
+      (** drop guards on provably in-bounds constant-offset stack stores
+          (§8.3, the MD5 result) *)
+  opt_inline_trivial : bool;
+      (** inline trivial functions before guarding (§8.3, the lld
+          result) *)
+}
+
+val lxfi : t
+(** Full enforcement with all optimizations. *)
+
+val stock : t
+val xfi : t
+
+val mode_name : mode -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+(** Runtime introspection: the /proc-style view of LXFI's state —
+    modules, principals, capability populations, writer-set size,
+    shadow-stack depth.  Used by the CLI ([lxfi_sim state]), the
+    examples, and debugging sessions. *)
+
+
+type principal_view = {
+  pv_describe : string;
+  pv_writes : int;
+  pv_calls : int;
+  pv_refs : int;
+  pv_aliases : int list;  (** the name pointers resolving to this principal *)
+}
+
+type module_view = {
+  mv_name : string;
+  mv_functions : int;
+  mv_globals : int;
+  mv_sections : (string * int * int) list;
+  mv_principals : principal_view list;
+}
+
+type t = {
+  iv_mode : string;
+  iv_modules : module_view list;
+  iv_writer_set_lines : int;
+  iv_shadow_depth : int;
+  iv_current : string;  (** who is executing right now *)
+  iv_stats : Stats.t;
+}
+
+let principal_view (mi : Runtime.module_info) (p : Principal.t) =
+  {
+    pv_describe = Principal.describe p;
+    pv_writes = Captable.write_count p.Principal.caps;
+    pv_calls = Captable.call_count p.Principal.caps;
+    pv_refs = Captable.ref_count p.Principal.caps;
+    pv_aliases =
+      Hashtbl.fold
+        (fun name q acc -> if q.Principal.id = p.Principal.id then name :: acc else acc)
+        mi.Runtime.mi_aliases []
+      |> List.sort compare;
+  }
+
+let module_view (mi : Runtime.module_info) =
+  {
+    mv_name = mi.Runtime.mi_name;
+    mv_functions = List.length mi.Runtime.mi_prog.Mir.Ast.funcs;
+    mv_globals = List.length mi.Runtime.mi_prog.Mir.Ast.globals;
+    mv_sections = mi.Runtime.mi_sections;
+    mv_principals =
+      List.map (principal_view mi)
+        (List.sort
+           (fun (a : Principal.t) b -> compare a.Principal.id b.Principal.id)
+           mi.Runtime.mi_principals);
+  }
+
+let capture (rt : Runtime.t) : t =
+  {
+    iv_mode = Config.mode_name rt.Runtime.config.Config.mode;
+    iv_modules =
+      Hashtbl.fold (fun _ mi acc -> module_view mi :: acc) rt.Runtime.modules []
+      |> List.sort (fun a b -> compare a.mv_name b.mv_name);
+    iv_writer_set_lines = Writer_set.marked_lines rt.Runtime.wset;
+    iv_shadow_depth = Shadow_stack.depth rt.Runtime.sstack;
+    iv_current =
+      (match rt.Runtime.current with
+      | None -> "(kernel)"
+      | Some p -> Principal.describe p);
+    iv_stats = rt.Runtime.stats;
+  }
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "LXFI state (mode %s, executing %s)@." t.iv_mode t.iv_current;
+  Fmt.pf ppf "  writer set: %d marked lines; shadow stack depth %d@."
+    t.iv_writer_set_lines t.iv_shadow_depth;
+  Fmt.pf ppf "  %a@." Stats.pp t.iv_stats;
+  List.iter
+    (fun m ->
+      Fmt.pf ppf "@.module %s (%d functions, %d globals)@." m.mv_name m.mv_functions
+        m.mv_globals;
+      List.iter
+        (fun (name, base, len) -> Fmt.pf ppf "  section %-8s 0x%x +%d@." name base len)
+        m.mv_sections;
+      List.iter
+        (fun p ->
+          Fmt.pf ppf "  %-32s write=%d call=%d ref=%d%s@." p.pv_describe p.pv_writes
+            p.pv_calls p.pv_refs
+            (match p.pv_aliases with
+            | [] -> ""
+            | l ->
+                Printf.sprintf " names:[%s]"
+                  (String.concat ", " (List.map (Printf.sprintf "0x%x") l))))
+        m.mv_principals)
+    t.iv_modules
+
+let to_string rt = Fmt.str "%a" pp (capture rt)

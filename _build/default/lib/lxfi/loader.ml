@@ -1,0 +1,351 @@
+(** Module loader: the analogue of [insmod] plus LXFI's generated
+    module-initialisation function (§4.2).
+
+    Loading a module:
+
+    + runs the rewriter over the module's MIR (per the configured mode);
+    + lays out text / rodata / data / bss / stack sections in the
+      module area of the simulated address space and applies global
+      initialisers (including function-pointer initialisers, which are
+      how ops tables come into existence);
+    + propagates annotations: a function stored into a typed
+      function-pointer slot of a known struct, or declared with an
+      export slot type, receives that slot type's annotations; two
+      conflicting sources are a load error (§4.2, "LXFI verifies that
+      these annotations are exactly the same");
+    + creates the shared and global principals and grants the initial
+      capabilities: CALL for every imported wrapper and own function,
+      WRITE for the writable sections, the module stack and the current
+      kernel stack — and nothing for [.rodata], which is what defeats
+      the unmodified RDS exploit;
+    + registers every module function in the kernel's dispatch table so
+      kernel indirect calls reach it {e through its wrapper};
+    + builds the interpreter context whose guard hooks call into the
+      runtime. *)
+
+open Kernel_sim
+
+exception Load_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Load_error s)) fmt
+
+let stack_len = 64 * 1024
+
+(** Imports beginning with [lxfi_] resolve to privileged runtime
+    builtins rather than kernel exports.  [lxfi_check:<struct>] checks
+    a REF capability of that type for its pointer argument. *)
+let is_builtin name =
+  name = "lxfi_princ_alias" || name = "lxfi_switch_global"
+  || String.length name > 11 && String.sub name 0 11 = "lxfi_check:"
+
+let builtin_impl rt name : int64 list -> int64 =
+  if name = "lxfi_princ_alias" then (function
+    | [ existing; fresh ] ->
+        Runtime.lxfi_princ_alias rt ~existing:(Int64.to_int existing)
+          ~fresh:(Int64.to_int fresh);
+        0L
+    | _ -> fail "lxfi_princ_alias expects 2 arguments")
+  else if name = "lxfi_switch_global" then (function
+    | [] ->
+        Runtime.lxfi_switch_global rt;
+        0L
+    | _ -> fail "lxfi_switch_global expects no arguments")
+  else
+    let rtype = String.sub name 11 (String.length name - 11) in
+    function
+    | [ addr ] ->
+        Runtime.lxfi_check rt ~rtype ~addr:(Int64.to_int addr);
+        0L
+    | _ -> fail "%s expects 1 argument" name
+
+let section_name = function
+  | Mir.Ast.Data -> "data"
+  | Mir.Ast.Rodata -> "rodata"
+  | Mir.Ast.Bss -> "bss"
+
+(** [load rt prog] instruments, lays out, and activates [prog]; returns
+    the module handle and the rewriter's report. *)
+let load (rt : Runtime.t) (prog : Mir.Ast.prog) : Runtime.module_info * Rewriter.report
+    =
+  let kst = rt.Runtime.kst in
+  if Hashtbl.mem rt.Runtime.modules prog.Mir.Ast.pname then
+    fail "module %s already loaded" prog.Mir.Ast.pname;
+  let prog, report = Rewriter.instrument rt.Runtime.config prog in
+  let mname = prog.Mir.Ast.pname in
+
+  (* --- text: one fake address per function --- *)
+  let nfuncs = List.length prog.Mir.Ast.funcs in
+  let text_base = Kstate.alloc_module_area kst (max 16 (16 * nfuncs)) in
+  let func_addr_tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Mir.Ast.func) ->
+      Hashtbl.replace func_addr_tbl f.Mir.Ast.fname (text_base + (16 * i)))
+    prog.Mir.Ast.funcs;
+
+  (* --- data sections --- *)
+  let globals_tbl = Hashtbl.create 16 in
+  let align16 n = (n + 15) land lnot 15 in
+  let layout_section sec =
+    let globs =
+      List.filter (fun g -> g.Mir.Ast.gsection = sec) prog.Mir.Ast.globals
+    in
+    if globs = [] then None
+    else begin
+      let total = List.fold_left (fun acc g -> acc + align16 g.Mir.Ast.gsize) 0 globs in
+      let base = Kstate.alloc_module_area kst total in
+      let _ =
+        List.fold_left
+          (fun off g ->
+            Hashtbl.replace globals_tbl g.Mir.Ast.gname (base + off);
+            off + align16 g.Mir.Ast.gsize)
+          0 globs
+      in
+      Some (section_name sec, base, total)
+    end
+  in
+  let sections =
+    List.filter_map layout_section [ Mir.Ast.Rodata; Mir.Ast.Data; Mir.Ast.Bss ]
+  in
+  let stack_base = Kstate.alloc_module_area kst stack_len in
+
+  (* --- resolve imports --- *)
+  let builtin_addrs = Hashtbl.create 4 in
+  let import_addr = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      if is_builtin name then begin
+        let addr = Ksym.intern kst.Kstate.sym ("lxfi_builtin:" ^ name) in
+        Hashtbl.replace builtin_addrs addr (builtin_impl rt name);
+        Hashtbl.replace import_addr name addr
+      end
+      else
+        match Hashtbl.find_opt rt.Runtime.kexports name with
+        | Some ke -> Hashtbl.replace import_addr name ke.Runtime.ke_addr
+        | None -> fail "module %s imports unknown symbol %s" mname name)
+    prog.Mir.Ast.imports;
+
+  (* --- apply global initialisers --- *)
+  List.iter
+    (fun (g : Mir.Ast.glob) ->
+      let base = Hashtbl.find globals_tbl g.Mir.Ast.gname in
+      List.iter
+        (fun init ->
+          match init with
+          | Mir.Ast.Iword (off, w, v) ->
+              Kmem.write kst.Kstate.mem ~addr:(base + off)
+                ~size:(Mir.Ast.bytes_of_width w) v
+          | Mir.Ast.Ifunc (off, f) -> (
+              match Hashtbl.find_opt func_addr_tbl f with
+              | Some a -> Kmem.write_ptr kst.Kstate.mem (base + off) a
+              | None -> fail "global %s references unknown function %s" g.Mir.Ast.gname f)
+          | Mir.Ast.Iext (off, imp) -> (
+              match Hashtbl.find_opt import_addr imp with
+              | Some a -> Kmem.write_ptr kst.Kstate.mem (base + off) a
+              | None -> fail "global %s references unimported symbol %s" g.Mir.Ast.gname imp))
+        g.Mir.Ast.ginit)
+    prog.Mir.Ast.globals;
+
+  (* --- principals and module record --- *)
+  let shared = Principal.make ~kind:Principal.Shared ~owner:mname ~primary_name:0 in
+  let global = Principal.make ~kind:Principal.Global ~owner:mname ~primary_name:0 in
+  let mi : Runtime.module_info =
+    {
+      Runtime.mi_name = mname;
+      mi_prog = prog;
+      mi_shared = shared;
+      mi_global = global;
+      mi_principals = [ shared; global ];
+      mi_aliases = Hashtbl.create 8;
+      mi_globals = globals_tbl;
+      mi_func_addr = func_addr_tbl;
+      mi_func_slot = Hashtbl.create 8;
+      mi_ctx = None;
+      mi_sections = sections;
+      mi_stack_base = stack_base;
+      mi_stack_len = stack_len;
+    }
+  in
+
+  (* --- annotation propagation (§4.2) --- *)
+  let propagate fname slot_name =
+    let slot =
+      match Annot.Registry.find_opt rt.Runtime.registry slot_name with
+      | Some s -> s
+      | None -> fail "module %s: function %s exported with unknown slot type %s" mname fname slot_name
+    in
+    (match Hashtbl.find_opt mi.Runtime.mi_func_slot fname with
+    | Some prev when prev.Annot.Registry.sl_name <> slot_name ->
+        fail
+          "module %s: function %s receives conflicting annotations (%s vs %s)"
+          mname fname prev.Annot.Registry.sl_name slot_name
+    | _ -> ());
+    Hashtbl.replace mi.Runtime.mi_func_slot fname slot;
+    match Hashtbl.find_opt func_addr_tbl fname with
+    | Some addr ->
+        Hashtbl.replace rt.Runtime.func_ahash_by_addr addr slot.Annot.Registry.sl_ahash
+    | None -> fail "module %s: exported function %s not defined" mname fname
+  in
+  List.iter
+    (fun (f : Mir.Ast.func) ->
+      match f.Mir.Ast.export with Some sl -> propagate f.Mir.Ast.fname sl | None -> ())
+    prog.Mir.Ast.funcs;
+  List.iter
+    (fun (g : Mir.Ast.glob) ->
+      match g.Mir.Ast.gstruct with
+      | None -> ()
+      | Some sname ->
+          List.iter
+            (fun init ->
+              match init with
+              | Mir.Ast.Ifunc (off, f) -> (
+                  match Ktypes.funcptr_slot kst.Kstate.types sname off with
+                  | Some slot_name -> propagate f slot_name
+                  | None ->
+                      fail
+                        "global %s: function pointer %s stored at +%d of struct %s, \
+                         which is not a declared slot"
+                        g.Mir.Ast.gname f off sname)
+              | Mir.Ast.Iword _ | Mir.Ast.Iext _ -> ())
+            g.Mir.Ast.ginit)
+    prog.Mir.Ast.globals;
+
+  (* --- initial capabilities (granted to the shared principal) --- *)
+  if rt.Runtime.config.Config.mode <> Config.Stock then begin
+    Hashtbl.iter
+      (fun _ addr -> Runtime.grant rt shared (Capability.Ccall { target = addr }))
+      func_addr_tbl;
+    Hashtbl.iter
+      (fun _ addr -> Runtime.grant rt shared (Capability.Ccall { target = addr }))
+      import_addr;
+    List.iter
+      (fun (name, base, len) ->
+        if name <> "rodata" then
+          Runtime.grant rt shared (Capability.Cwrite { base; size = len }))
+      sections;
+    Runtime.grant rt shared (Capability.Cwrite { base = stack_base; size = stack_len });
+    Runtime.grant rt shared
+      (Capability.Cwrite
+         { base = rt.Runtime.kernel_stack_base; size = rt.Runtime.kernel_stack_len });
+    (* Blanket user-space window: uaccess helpers (copy_to_user and
+       friends) write to user memory on the module's behalf, and user
+       memory carries no kernel integrity.  Kernel addresses are what
+       the WRITE discipline protects. *)
+    Runtime.grant rt shared
+      (Capability.Cwrite
+         {
+           base = Kmem.Layout.user_base;
+           size = Kmem.Layout.user_top - Kmem.Layout.user_base;
+         })
+  end;
+
+  (* --- make module functions kernel-callable (through wrappers) --- *)
+  List.iter
+    (fun (f : Mir.Ast.func) ->
+      let fname = f.Mir.Ast.fname in
+      let addr = Hashtbl.find func_addr_tbl fname in
+      Kstate.register_target kst
+        ~name:(mname ^ ":" ^ fname)
+        ~addr ~kind:(Kstate.Module_fn mname)
+        (fun args -> Runtime.invoke_module_function rt mi fname args))
+    prog.Mir.Ast.funcs;
+
+  (* --- interpreter context --- *)
+  let global_addr name =
+    match Hashtbl.find_opt globals_tbl name with
+    | Some a -> a
+    | None -> raise (Kstate.Oops (Printf.sprintf "module %s: unknown global %s" mname name))
+  in
+  let func_addr name =
+    match Hashtbl.find_opt func_addr_tbl name with
+    | Some a -> a
+    | None -> raise (Kstate.Oops (Printf.sprintf "module %s: unknown function %s" mname name))
+  in
+  let ext_addr name =
+    match Hashtbl.find_opt import_addr name with
+    | Some a -> a
+    | None -> raise (Kstate.Oops (Printf.sprintf "module %s: %s not imported" mname name))
+  in
+  let call_ext addr args =
+    match Hashtbl.find_opt rt.Runtime.kexport_by_addr addr with
+    | Some ke -> Runtime.call_kexport rt ke args
+    | None -> (
+        match Hashtbl.find_opt builtin_addrs addr with
+        | Some impl -> impl args
+        | None -> (
+            (* A non-import target (kernel callback, another module's
+               function, or — in stock mode — anything at all). *)
+            match Kstate.target_of kst addr with
+            | Some tg -> tg.Kstate.t_run args
+            | None ->
+                raise (Kstate.Oops (Printf.sprintf "call to bad address 0x%x" addr))))
+  in
+  let ctx =
+    Mir.Interp.create ~kst ~prog ~global_addr ~func_addr ~ext_addr ~call_ext
+      ~guard_write:(fun ~addr ~size -> Runtime.guard_write rt mi ~addr ~size)
+      ~guard_indcall:(fun ~target -> Runtime.guard_indcall rt mi ~target)
+      ~on_entry:(fun _ -> Runtime.entry_guard rt)
+      ~on_exit:(fun _ -> Runtime.exit_guard rt)
+      ~hooks_enabled:(rt.Runtime.config.Config.mode <> Config.Stock)
+      ~stack_base ~stack_len
+  in
+  mi.Runtime.mi_ctx <- Some ctx;
+  Hashtbl.replace rt.Runtime.modules mname mi;
+  Klog.info "loaded module %s (%d functions, %d globals, mode %s)" mname nfuncs
+    (List.length prog.Mir.Ast.globals)
+    (Config.mode_name rt.Runtime.config.Config.mode);
+  (mi, report)
+
+(** [unload rt mi] — rmmod: run [module_exit] if the module defines one
+    (its chance to unregister from every subsystem), then retire the
+    module: its principals and all their capabilities disappear, its
+    functions stop being callable, and its annotation hashes are
+    forgotten.
+
+    Like the real kernel, the loader cannot know about pointers to the
+    module that are still stored in kernel data structures; a module
+    whose exit function forgets to unregister leaves dangling function
+    pointers behind, and a later kernel indirect call through one will
+    oops (dispatch to a retired address).  The module's memory itself is
+    {e not} recycled — the module area is append-only in this
+    simulation, which conveniently makes use-after-unload deterministic
+    instead of corrupting an unrelated module. *)
+let unload (rt : Runtime.t) (mi : Runtime.module_info) =
+  let kst = rt.Runtime.kst in
+  if not (Hashtbl.mem rt.Runtime.modules mi.Runtime.mi_name) then
+    fail "module %s is not loaded" mi.Runtime.mi_name;
+  if Mir.Ast.find_func mi.Runtime.mi_prog "module_exit" <> None then begin
+    let saved = rt.Runtime.current in
+    rt.Runtime.current <- Some mi.Runtime.mi_shared;
+    (match Runtime.run_mir rt mi "module_exit" [] with
+    | _ -> rt.Runtime.current <- saved
+    | exception e ->
+        rt.Runtime.current <- saved;
+        raise e)
+  end;
+  Hashtbl.iter
+    (fun _ addr ->
+      Hashtbl.remove kst.Kstate.calltab addr;
+      Hashtbl.remove rt.Runtime.func_ahash_by_addr addr)
+    mi.Runtime.mi_func_addr;
+  Hashtbl.remove rt.Runtime.modules mi.Runtime.mi_name;
+  Klog.info "unloaded module %s" mi.Runtime.mi_name
+
+(** [init_call rt mi fname args] runs a module initialisation entry
+    point ([module_init]) {e without} isolation, as the paper's loader
+    does — initialisation happens before the module is exposed to
+    untrusted input.  The function still runs under its wrapper if it
+    has one; plain init functions run as the shared principal. *)
+let init_call rt (mi : Runtime.module_info) fname args =
+  match Hashtbl.find_opt mi.Runtime.mi_func_slot fname with
+  | Some _ -> Runtime.invoke_module_function rt mi fname args
+  | None ->
+      let saved = rt.Runtime.current in
+      rt.Runtime.current <- Some mi.Runtime.mi_shared;
+      let fin () = rt.Runtime.current <- saved in
+      (match Runtime.run_mir rt mi fname args with
+      | r ->
+          fin ();
+          r
+      | exception e ->
+          fin ();
+          raise e)

@@ -1,0 +1,43 @@
+(** Module loader: [insmod] plus LXFI's generated module-initialisation
+    function (paper §4.2).
+
+    Loading runs the rewriter, lays out text/rodata/data/bss/stack in
+    the module area, applies global initialisers, propagates
+    annotations from typed function-pointer slots and export
+    declarations (conflicts are load errors), grants the initial
+    capabilities to the shared principal (CALL for imports and own
+    functions; WRITE for the writable sections, module stack, kernel
+    stack and the blanket user-space window — and {e nothing} for
+    [.rodata]), registers every function in the kernel dispatch table
+    behind its wrapper, and builds the interpreter context wired to the
+    runtime's guards. *)
+
+exception Load_error of string
+
+val stack_len : int
+(** Size of each module's interpreter stack region. *)
+
+val is_builtin : string -> bool
+(** Imports named [lxfi_princ_alias], [lxfi_switch_global] or
+    [lxfi_check:<type>] resolve to privileged runtime builtins rather
+    than kernel exports. *)
+
+val load : Runtime.t -> Mir.Ast.prog -> Runtime.module_info * Rewriter.report
+(** Instrument, lay out and activate a module.  Raises {!Load_error} on
+    unknown imports/slot types, conflicting annotation propagation, or
+    duplicate module names; {!Rewriter.Rewrite_error} on unanalysable
+    code. *)
+
+val unload : Runtime.t -> Runtime.module_info -> unit
+(** rmmod: run [module_exit] (if defined) as the shared principal, then
+    retire the module's principals, capabilities, callable addresses
+    and annotation hashes.  Pointers the exit function failed to
+    unregister dangle, and a later kernel indirect call through one
+    oopses — as on real hardware.  Raises {!Load_error} if the module
+    is not loaded. *)
+
+val init_call : Runtime.t -> Runtime.module_info -> string -> int64 list -> int64
+(** Run a module initialisation entry point.  Annotated functions go
+    through their wrapper; plain init functions run as the shared
+    principal (the paper loads modules without isolation before they
+    see untrusted input). *)

@@ -1,0 +1,651 @@
+(** The LXFI runtime (§5): reference monitor on every control transfer
+    between the core kernel and modules.
+
+    Responsibilities, mirroring Figure 6 of the paper:
+
+    - track principals per module (shared / global / pointer-named
+      instances, with aliases);
+    - maintain per-principal capability tables and perform the
+      grant/revoke/check operations that annotations prescribe;
+    - run {e wrappers} around every kernel→module and module→kernel
+      call: shadow-stack push/pop, principal switch, pre and post
+      annotation actions;
+    - check module stores ([guard_write]) and module indirect calls
+      ([guard_indcall]) — the guards the rewriter inserted;
+    - check core-kernel indirect calls through module-writable slots
+      ([kernel_indirect_call]), with the writer-set fast path;
+    - expose the privileged runtime calls modules may invoke directly
+      ([lxfi_check], [lxfi_princ_alias], [lxfi_switch_global]). *)
+
+open Kernel_sim
+
+(** Simulated cycle cost of each guard type, charged to the Guard
+    category.  These are model constants calibrated so that the netperf
+    reproduction exhibits the paper's Figure 12 shape (TCP unchanged,
+    UDP TX −35%, CPU 2.2–3.7×); the host-measured ns-per-guard numbers
+    of Figure 13 are measured separately by the benchmark harness. *)
+module Cost = struct
+  let annotation_action = 90
+  let fn_entry = 8
+  let fn_exit = 7
+  let mem_write_check = 12
+  let mod_indcall_check = 14
+  let kernel_indcall_check = 30
+  let kernel_indcall_fastpath = 3
+  let principal_switch = 8
+end
+
+type module_info = {
+  mi_name : string;
+  mi_prog : Mir.Ast.prog;  (** instrumented program *)
+  mi_shared : Principal.t;
+  mi_global : Principal.t;
+  mutable mi_principals : Principal.t list;  (** all, including shared+global *)
+  mi_aliases : (int, Principal.t) Hashtbl.t;  (** name pointer -> principal *)
+  mi_globals : (string, int) Hashtbl.t;
+  mi_func_addr : (string, int) Hashtbl.t;
+  mi_func_slot : (string, Annot.Registry.slot) Hashtbl.t;
+      (** propagated annotation (slot type) per kernel-callable function *)
+  mutable mi_ctx : Mir.Interp.ctx option;  (** set by the loader *)
+  mi_sections : (string * int * int) list;  (** (section, base, len) *)
+  mi_stack_base : int;
+  mi_stack_len : int;
+}
+
+type kexport = {
+  ke_name : string;
+  ke_addr : int;
+  ke_params : string list;
+  ke_annot : Annot.Ast.t;
+  ke_ahash : int64;
+  ke_impl : int64 list -> int64;
+}
+
+type t = {
+  kst : Kstate.t;
+  config : Config.t;
+  registry : Annot.Registry.t;
+  stats : Stats.t;
+  wset : Writer_set.t;
+  modules : (string, module_info) Hashtbl.t;
+  kexports : (string, kexport) Hashtbl.t;
+  kexport_by_addr : (int, kexport) Hashtbl.t;
+  iterators : (string, t -> int64 list -> Capability.t list) Hashtbl.t;
+  func_ahash_by_addr : (int, int64) Hashtbl.t;
+  mutable current : Principal.t option;  (** None = kernel context *)
+  sstack : Shadow_stack.t;
+  raw_dispatch : slot:int -> ftype:string -> int64 list -> int64;
+  kernel_stack_base : int;
+  kernel_stack_len : int;
+}
+
+let charge rt n = Kcycles.charge rt.kst.Kstate.cycles Kcycles.Guard n
+
+let create ~kst ~(config : Config.t) =
+  let registry = Annot.Registry.create () in
+  let kernel_stack_len = 16 * 1024 in
+  let kernel_stack_base = Kstate.alloc_stack kst (2 * kernel_stack_len) in
+  (* The shadow stack lies adjacent to the thread's kernel stack (§5)
+     but is never covered by any WRITE capability. *)
+  let sstack =
+    Shadow_stack.create ~mem_base:(kernel_stack_base + kernel_stack_len)
+      ~mem_len:kernel_stack_len
+  in
+  let raw_dispatch = kst.Kstate.indcall in
+  let rt =
+    {
+      kst;
+      config;
+      registry;
+      stats = Stats.create ();
+      wset = Writer_set.create ();
+      modules = Hashtbl.create 16;
+      kexports = Hashtbl.create 64;
+      kexport_by_addr = Hashtbl.create 64;
+      iterators = Hashtbl.create 16;
+      func_ahash_by_addr = Hashtbl.create 64;
+      current = None;
+      sstack;
+      raw_dispatch;
+      kernel_stack_base;
+      kernel_stack_len;
+    }
+  in
+  rt
+
+let current_module rt =
+  match rt.current with
+  | None -> None
+  | Some p -> Hashtbl.find_opt rt.modules p.Principal.owner
+
+let module_named rt name = Hashtbl.find_opt rt.modules name
+
+(** {1 Kernel exports and capability iterators} *)
+
+(** [register_kexport rt ~name ~params ~annot impl] registers an
+    annotated kernel export.  Its annotation string is parsed once;
+    the hash participates in indirect-call matching. *)
+let register_kexport rt ~name ~params ~annot impl =
+  let a = Annot.Parser.parse_exn annot in
+  (match Annot.Ast.validate ~params a with
+  | Ok () -> ()
+  | Error msg ->
+      invalid_arg (Printf.sprintf "register_kexport %s: invalid annotation: %s" name msg));
+  let addr = Ksym.intern rt.kst.Kstate.sym name in
+  let ke =
+    {
+      ke_name = name;
+      ke_addr = addr;
+      ke_params = params;
+      ke_annot = a;
+      ke_ahash = Annot.Hash.of_annot ~params a;
+      ke_impl = impl;
+    }
+  in
+  Hashtbl.replace rt.kexports name ke;
+  Hashtbl.replace rt.kexport_by_addr addr ke;
+  Hashtbl.replace rt.func_ahash_by_addr addr ke.ke_ahash;
+  (* Kernel exports are also raw-callable through the kernel's own
+     dispatch table (stock kernels call them without wrappers). *)
+  Kstate.register_target rt.kst ~name ~addr ~kind:Kstate.Kernel_fn (fun args ->
+      ke.ke_impl args);
+  ke
+
+let register_iterator rt ~name fn = Hashtbl.replace rt.iterators name fn
+
+let find_kexport rt name =
+  match Hashtbl.find_opt rt.kexports name with
+  | Some ke -> ke
+  | None -> invalid_arg (Printf.sprintf "unknown kernel export %s" name)
+
+(** {1 Capability operations} *)
+
+let all_principals rt =
+  Hashtbl.fold (fun _ mi acc -> mi.mi_principals @ acc) rt.modules []
+
+(** Capability ownership with the implicit-access rules of §3.1:
+    instance principals see the shared principal's capabilities; the
+    global principal sees everything the module holds. *)
+let principal_has rt (p : Principal.t) (c : Capability.t) : bool =
+  let table_has (tbl : Captable.t) =
+    match c with
+    | Capability.Cwrite { base; size } -> Captable.has_write tbl ~addr:base ~size
+    | Capability.Cref { rtype; addr } -> Captable.has_ref tbl ~rtype ~addr
+    | Capability.Ccall { target } -> Captable.has_call tbl ~target
+  in
+  if table_has p.Principal.caps then true
+  else
+    match Hashtbl.find_opt rt.modules p.Principal.owner with
+    | None -> false
+    | Some mi -> (
+        match p.Principal.kind with
+        | Principal.Shared -> false
+        | Principal.Instance -> table_has mi.mi_shared.Principal.caps
+        | Principal.Global ->
+            List.exists (fun q -> table_has q.Principal.caps) mi.mi_principals)
+
+(** [has_write_covering rt p ~addr ~size] — like [principal_has] for a
+    WRITE query at an interior address. *)
+let has_write_covering rt p ~addr ~size =
+  principal_has rt p (Capability.Cwrite { base = addr; size })
+
+let grant rt (p : Principal.t) (c : Capability.t) =
+  rt.stats.Stats.caps_granted <- rt.stats.Stats.caps_granted + 1;
+  (match c with
+  | Capability.Cwrite { base; size } ->
+      Captable.add_write p.Principal.caps ~base ~size;
+      (* User-space windows are not writer-set-marked: the kernel never
+         loads function pointers it will call from user memory (and a
+         corrupted slot pointing *into* user space is caught by the
+         CALL-capability check on the slot's own writers). *)
+      if not (Kmem.Layout.is_user base) then Writer_set.mark_range rt.wset ~base ~size
+  | Capability.Cref { rtype; addr } -> Captable.add_ref p.Principal.caps ~rtype ~addr
+  | Capability.Ccall { target } -> Captable.add_call p.Principal.caps ~target);
+  ()
+
+(** [revoke_from_all rt c] removes [c] (and for WRITE, anything
+    intersecting its range) from every principal in the system — the
+    transfer semantics of §3.3 that guarantee no stale copies survive
+    object reuse. *)
+let revoke_from_all rt (c : Capability.t) =
+  rt.stats.Stats.caps_revoked <- rt.stats.Stats.caps_revoked + 1;
+  List.iter
+    (fun (p : Principal.t) ->
+      match c with
+      | Capability.Cwrite { base; size } ->
+          ignore (Captable.remove_write_intersecting p.Principal.caps ~base ~size)
+      | Capability.Cref { rtype; addr } -> Captable.remove_ref p.Principal.caps ~rtype ~addr
+      | Capability.Ccall { target } -> Captable.remove_call p.Principal.caps ~target)
+    (all_principals rt)
+
+(** {1 Principal management} *)
+
+let find_or_create_instance _rt mi ~name_ptr =
+  match Hashtbl.find_opt mi.mi_aliases name_ptr with
+  | Some p -> p
+  | None ->
+      let p =
+        Principal.make ~kind:Principal.Instance ~owner:mi.mi_name ~primary_name:name_ptr
+      in
+      mi.mi_principals <- p :: mi.mi_principals;
+      Hashtbl.replace mi.mi_aliases name_ptr p;
+      Klog.debug "new principal %s" (Principal.describe p);
+      p
+
+(** {1 Annotation evaluation} *)
+
+type direction =
+  | M2K  (** module calling a kernel export *)
+  | K2M  (** kernel invoking a module function *)
+
+type eval_env = { params : string list; args : int64 list; ret : int64 option }
+
+let rec eval_cexpr rt env (e : Annot.Ast.cexpr) : int64 =
+  match e with
+  | Annot.Ast.Cint n -> n
+  | Annot.Ast.Cparam p -> (
+      match List.assoc_opt p (List.combine env.params env.args) with
+      | Some v -> v
+      | None ->
+          invalid_arg (Printf.sprintf "annotation references unknown parameter %s" p))
+  | Annot.Ast.Creturn -> (
+      match env.ret with
+      | Some v -> v
+      | None -> invalid_arg "annotation references return value in pre context")
+  | Annot.Ast.Cneg e -> Int64.neg (eval_cexpr rt env e)
+  | Annot.Ast.Csizeof s -> Int64.of_int (Ktypes.sizeof rt.kst.Kstate.types s)
+  | Annot.Ast.Cbin (op, a, b) ->
+      let va = eval_cexpr rt env a and vb = eval_cexpr rt env b in
+      let bool_ x = if x then 1L else 0L in
+      (match op with
+      | Annot.Ast.Oeq -> bool_ (Int64.equal va vb)
+      | Annot.Ast.One -> bool_ (not (Int64.equal va vb))
+      | Annot.Ast.Olt -> bool_ (Int64.compare va vb < 0)
+      | Annot.Ast.Ole -> bool_ (Int64.compare va vb <= 0)
+      | Annot.Ast.Ogt -> bool_ (Int64.compare va vb > 0)
+      | Annot.Ast.Oge -> bool_ (Int64.compare va vb >= 0)
+      | Annot.Ast.Oadd -> Int64.add va vb
+      | Annot.Ast.Osub -> Int64.sub va vb
+      | Annot.Ast.Omul -> Int64.mul va vb
+      | Annot.Ast.Oand -> bool_ (va <> 0L && vb <> 0L)
+      | Annot.Ast.Oor -> bool_ (va <> 0L || vb <> 0L))
+
+(** Resolve a caplist to concrete capabilities. *)
+let caps_of_caplist rt env (cl : Annot.Ast.caplist) : Capability.t list =
+  match cl with
+  | Annot.Ast.Inline (ct, pe, se) -> (
+      let ptr = Int64.to_int (eval_cexpr rt env pe) in
+      match ct with
+      | Annot.Ast.Write ->
+          let size =
+            match se with
+            | Some e -> Int64.to_int (eval_cexpr rt env e)
+            | None -> 8 (* documented default when no referent type is known *)
+          in
+          if size <= 0 then [] else [ Capability.Cwrite { base = ptr; size } ]
+      | Annot.Ast.Call -> [ Capability.Ccall { target = ptr } ]
+      | Annot.Ast.Ref rtype -> [ Capability.Cref { rtype; addr = ptr } ])
+  | Annot.Ast.Iter (fname, argexprs) -> (
+      match Hashtbl.find_opt rt.iterators fname with
+      | None -> invalid_arg (Printf.sprintf "unknown capability iterator %s" fname)
+      | Some fn -> fn rt (List.map (eval_cexpr rt env) argexprs))
+
+let violation_kind_of_cap = function
+  | Capability.Cwrite _ -> Violation.Write_denied
+  | Capability.Cref _ -> Violation.Ref_denied
+  | Capability.Ccall _ -> Violation.Call_denied
+
+let check_owned rt mi (p : Principal.t) (c : Capability.t) ~ctx =
+  if rt.config.Config.mode = Config.Lxfi && not (principal_has rt p c) then
+    Violation.raise_ ~kind:(violation_kind_of_cap c) ~module_:mi.mi_name
+      "%s: principal %s does not own %s" ctx (Principal.describe p)
+      (Capability.to_string c)
+
+(** Execute one annotation action.  [mp] is the module-side principal
+    of the call (caller for M2K, callee for K2M); the kernel side is
+    implicitly trusted and owns everything. *)
+let rec run_action rt mi (mp : Principal.t) ~dir ~phase env (a : Annot.Ast.action) =
+  (* Cost accounting is per capability processed, not per syntactic
+     action: an skb_caps transfer does twice the table work of a plain
+     lock check, and the netperf CPU inflation (§8.4) is dominated by
+     exactly this "cost of capability operations". *)
+  let account caps =
+    let n = max 1 (List.length caps) in
+    rt.stats.Stats.annotation_actions <- rt.stats.Stats.annotation_actions + n;
+    charge rt (n * Cost.annotation_action);
+    caps
+  in
+  let caps_of_caplist rt env cl = account (caps_of_caplist rt env cl) in
+  let xfi = rt.config.Config.mode = Config.Xfi in
+  match a with
+  | Annot.Ast.Cif (c, a') -> if eval_cexpr rt env c <> 0L then run_action rt mi mp ~dir ~phase env a'
+  | Annot.Ast.Check cl ->
+      if not xfi then
+        List.iter
+          (fun cap ->
+            match (dir, phase) with
+            | M2K, _ -> check_owned rt mi mp cap ~ctx:"check"
+            | K2M, _ -> () (* caller is the kernel; trivially owned *))
+          (caps_of_caplist rt env cl)
+  | Annot.Ast.Copy cl ->
+      List.iter
+        (fun cap ->
+          match (dir, phase) with
+          | M2K, `Pre ->
+              (* module -> kernel: verify source ownership; the kernel
+                 needs no table entry. *)
+              if not xfi then check_owned rt mi mp cap ~ctx:"copy(pre)"
+          | M2K, `Post -> grant rt mp cap
+          | K2M, `Pre -> grant rt mp cap
+          | K2M, `Post ->
+              (* callee (module) must own it; kernel side is implicit *)
+              if not xfi then check_owned rt mi mp cap ~ctx:"copy(post)")
+        (caps_of_caplist rt env cl)
+  | Annot.Ast.Transfer cl ->
+      List.iter
+        (fun cap ->
+          match (dir, phase) with
+          | M2K, `Pre ->
+              if not xfi then check_owned rt mi mp cap ~ctx:"transfer(pre)";
+              revoke_from_all rt cap
+          | M2K, `Post ->
+              revoke_from_all rt cap;
+              grant rt mp cap
+          | K2M, `Pre ->
+              revoke_from_all rt cap;
+              grant rt mp cap
+          | K2M, `Post ->
+              if not xfi then check_owned rt mi mp cap ~ctx:"transfer(post)";
+              revoke_from_all rt cap)
+        (caps_of_caplist rt env cl)
+
+let run_actions rt mi mp ~dir ~phase env actions =
+  List.iter (run_action rt mi mp ~dir ~phase env) actions
+
+(** {1 Wrappers} *)
+
+let entry_guard rt =
+  rt.stats.Stats.fn_entry <- rt.stats.Stats.fn_entry + 1;
+  charge rt Cost.fn_entry
+
+let exit_guard rt =
+  rt.stats.Stats.fn_exit <- rt.stats.Stats.fn_exit + 1;
+  charge rt Cost.fn_exit
+
+(** [call_kexport rt ke args] — module→kernel crossing.  The wrapper
+    validates pre actions against the calling principal, runs the
+    kernel implementation in kernel context, then applies post actions
+    (grants flowing back to the caller). *)
+let call_kexport rt (ke : kexport) args =
+  match rt.config.Config.mode with
+  | Config.Stock -> ke.ke_impl args
+  | Config.Xfi | Config.Lxfi -> (
+      let caller = rt.current in
+      match caller with
+      | None ->
+          (* Kernel code calling a kernel export: no boundary. *)
+          ke.ke_impl args
+      | Some mp ->
+          let mi =
+            match Hashtbl.find_opt rt.modules mp.Principal.owner with
+            | Some mi -> mi
+            | None -> invalid_arg "current principal belongs to unknown module"
+          in
+          entry_guard rt;
+          let token =
+            Shadow_stack.push rt.sstack ~wrapper:ke.ke_name ~saved_principal:caller
+          in
+          let run () =
+            let env = { params = ke.ke_params; args; ret = None } in
+            run_actions rt mi mp ~dir:M2K ~phase:`Pre env
+              (Annot.Ast.pre_actions ke.ke_annot);
+            rt.current <- None;
+            let ret = ke.ke_impl args in
+            rt.current <- Some mp;
+            let env = { env with ret = Some ret } in
+            run_actions rt mi mp ~dir:M2K ~phase:`Post env
+              (Annot.Ast.post_actions ke.ke_annot);
+            ret
+          in
+          (match run () with
+          | ret ->
+              rt.current <- Shadow_stack.pop rt.sstack ~wrapper:ke.ke_name ~token;
+              exit_guard rt;
+              ret
+          | exception e ->
+              rt.current <- Shadow_stack.pop rt.sstack ~wrapper:ke.ke_name ~token;
+              raise e))
+
+(** Select the callee principal for a kernel→module call according to
+    the slot type's [principal] clause. *)
+let select_principal rt mi (slot : Annot.Registry.slot) env =
+  match Annot.Ast.principal_of slot.Annot.Registry.sl_annot with
+  | None | Some Annot.Ast.Pshared -> mi.mi_shared
+  | Some Annot.Ast.Pglobal -> mi.mi_global
+  | Some (Annot.Ast.Pexpr e) ->
+      if rt.config.Config.mode = Config.Lxfi then
+        let name_ptr = Int64.to_int (eval_cexpr rt env e) in
+        find_or_create_instance rt mi ~name_ptr
+      else mi.mi_shared
+
+let run_mir _rt mi fname args =
+  match mi.mi_ctx with
+  | None -> invalid_arg (Printf.sprintf "module %s has no interpreter context" mi.mi_name)
+  | Some ctx -> Mir.Interp.run ctx fname args
+
+(** [invoke_module_function rt mi fname args] — kernel→module crossing
+    through the function's propagated annotation (its slot type).  The
+    paper's safe default applies: a function with no annotation cannot
+    be invoked from the kernel under LXFI. *)
+let invoke_module_function rt mi fname args =
+  match rt.config.Config.mode with
+  | Config.Stock -> run_mir rt mi fname args
+  | Config.Xfi | Config.Lxfi -> (
+      match Hashtbl.find_opt mi.mi_func_slot fname with
+      | None ->
+          if rt.config.Config.mode = Config.Lxfi then
+            Violation.raise_ ~kind:Violation.Annot_mismatch ~module_:mi.mi_name
+              "kernel invoked unannotated module function %s" fname
+          else run_mir rt mi fname args
+      | Some slot ->
+          entry_guard rt;
+          let wrapper = mi.mi_name ^ ":" ^ fname in
+          let token = Shadow_stack.push rt.sstack ~wrapper ~saved_principal:rt.current in
+          let run () =
+            let env = { params = slot.Annot.Registry.sl_params; args; ret = None } in
+            let callee = select_principal rt mi slot env in
+            run_actions rt mi callee ~dir:K2M ~phase:`Pre env
+              (Annot.Ast.pre_actions slot.Annot.Registry.sl_annot);
+            rt.stats.Stats.principal_switches <- rt.stats.Stats.principal_switches + 1;
+            charge rt Cost.principal_switch;
+            rt.current <- Some callee;
+            let ret = run_mir rt mi fname args in
+            (* Post actions run against the callee principal even if the
+               module switched principals internally (switch_global). *)
+            let env = { env with ret = Some ret } in
+            run_actions rt mi callee ~dir:K2M ~phase:`Post env
+              (Annot.Ast.post_actions slot.Annot.Registry.sl_annot);
+            ret
+          in
+          (match run () with
+          | ret ->
+              rt.current <- Shadow_stack.pop rt.sstack ~wrapper ~token;
+              exit_guard rt;
+              ret
+          | exception e ->
+              rt.current <- Shadow_stack.pop rt.sstack ~wrapper ~token;
+              raise e))
+
+(** {1 Module-side guards (inserted by the rewriter)} *)
+
+let guard_write rt mi ~addr ~size =
+  rt.stats.Stats.mem_write_checks <- rt.stats.Stats.mem_write_checks + 1;
+  charge rt Cost.mem_write_check;
+  match rt.current with
+  | None ->
+      Violation.raise_ ~kind:Violation.Write_denied ~module_:mi.mi_name
+        "module store executed without a module principal"
+  | Some p ->
+      if not (has_write_covering rt p ~addr ~size) then
+        Violation.raise_ ~kind:Violation.Write_denied ~module_:mi.mi_name
+          "store of %d bytes at 0x%x by %s" size addr (Principal.describe p)
+
+let guard_indcall rt mi ~target =
+  rt.stats.Stats.mod_indcall_checks <- rt.stats.Stats.mod_indcall_checks + 1;
+  charge rt Cost.mod_indcall_check;
+  match rt.current with
+  | None ->
+      Violation.raise_ ~kind:Violation.Call_denied ~module_:mi.mi_name
+        "module indirect call without a module principal"
+  | Some p ->
+      if not (principal_has rt p (Capability.Ccall { target })) then
+        Violation.raise_ ~kind:Violation.Call_denied ~module_:mi.mi_name
+          "indirect call to %s by %s"
+          (Fmt.str "%a" (Ksym.pp_addr rt.kst.Kstate.sym) target)
+          (Principal.describe p)
+
+(** {1 Kernel-side indirect-call checking (§4.1)} *)
+
+(** Writer principals of a memory word: every principal holding a WRITE
+    capability covering it (computed by walking the global principal
+    list, as in the paper). *)
+let writers_of rt ~addr =
+  List.filter
+    (fun (p : Principal.t) ->
+      Captable.has_write p.Principal.caps ~addr ~size:1
+      ||
+      match Captable.find_write_covering p.Principal.caps ~addr with
+      | Some _ -> true
+      | None -> false)
+    (all_principals rt)
+
+(** The checking dispatcher installed as [Kstate.indcall] under LXFI.
+    Implements [lxfi_check_indcall(pptr, ahash)]:
+
+    1. writer-set fast path: if no principal could have written the
+       slot, skip the capability check entirely;
+    2. otherwise every writer principal must hold a CALL capability for
+       the target;
+    3. the target function's annotation hash must match the slot
+       type's. *)
+let kernel_indirect_call rt ~slot ~ftype args =
+  rt.stats.Stats.kernel_indcall_all <- rt.stats.Stats.kernel_indcall_all + 1;
+  let dispatch () = rt.raw_dispatch ~slot ~ftype args in
+  if rt.config.Config.mode <> Config.Lxfi then dispatch ()
+  else if rt.config.Config.writer_set_tracking && not (Writer_set.maybe_written rt.wset slot)
+  then begin
+    rt.stats.Stats.kernel_indcall_elided <- rt.stats.Stats.kernel_indcall_elided + 1;
+    charge rt Cost.kernel_indcall_fastpath;
+    dispatch ()
+  end
+  else begin
+    rt.stats.Stats.kernel_indcall_checked <- rt.stats.Stats.kernel_indcall_checked + 1;
+    charge rt Cost.kernel_indcall_check;
+    let target = Kmem.read_ptr rt.kst.Kstate.mem slot in
+    let writers = writers_of rt ~addr:slot in
+    match writers with
+    | [] ->
+        (* Writer-set false positive: the line was marked but no
+           principal actually holds WRITE on the slot — benign. *)
+        dispatch ()
+    | _ ->
+        List.iter
+          (fun (p : Principal.t) ->
+            if not (principal_has rt p (Capability.Ccall { target })) then
+              Violation.raise_ ~kind:Violation.Call_denied ~module_:p.Principal.owner
+                "kernel indirect call via slot 0x%x (%s): writer %s lacks CALL for %s"
+                slot ftype (Principal.describe p)
+                (Fmt.str "%a" (Ksym.pp_addr rt.kst.Kstate.sym) target))
+          writers;
+        (let slot_hash =
+           match Annot.Registry.find_opt rt.registry ftype with
+           | Some s -> s.Annot.Registry.sl_ahash
+           | None -> Annot.Hash.empty
+         in
+         match Hashtbl.find_opt rt.func_ahash_by_addr target with
+         | Some h when not (Int64.equal h slot_hash) ->
+             Violation.raise_ ~kind:Violation.Annot_mismatch ~module_:"(kernel)"
+               "slot 0x%x type %s: annotation hash mismatch for target %s" slot ftype
+               (Fmt.str "%a" (Ksym.pp_addr rt.kst.Kstate.sym) target)
+         | Some _ | None ->
+             (* Unannotated targets are accepted, matching the paper's
+                implementation status (§7): static kernel functions
+                carry no annotations. *)
+             ());
+        dispatch ()
+  end
+
+(** [install rt] points the kernel's indirect-call dispatcher at the
+    checking version.  Call once after boot. *)
+let install rt =
+  rt.kst.Kstate.indcall <- (fun ~slot ~ftype args -> kernel_indirect_call rt ~slot ~ftype args)
+
+(** {1 Privileged runtime calls available to module code}
+
+    These are importable as [lxfi_*] and may only be reached through
+    direct calls (the rewriter never grants CALL capabilities for
+    them), matching §3.4's requirement that privilege manipulations be
+    statically coupled with their guarding checks. *)
+
+let require_current_mi rt ~who =
+  match rt.current with
+  | Some p -> (
+      match Hashtbl.find_opt rt.modules p.Principal.owner with
+      | Some mi -> (p, mi)
+      | None ->
+          Violation.raise_ ~kind:Violation.Principal_denied ~module_:"(unknown)"
+            "%s called without module context" who)
+  | None ->
+      Violation.raise_ ~kind:Violation.Principal_denied ~module_:"(kernel)"
+        "%s called from kernel context" who
+
+(** [lxfi_check rt ~rtype ~addr] — module-inserted explicit REF check
+    (line 72 of Figure 4). *)
+let lxfi_check rt ~rtype ~addr =
+  if rt.config.Config.mode = Config.Lxfi then begin
+    let p, mi = require_current_mi rt ~who:"lxfi_check" in
+    if not (principal_has rt p (Capability.Cref { rtype; addr })) then
+      Violation.raise_ ~kind:Violation.Ref_denied ~module_:mi.mi_name
+        "lxfi_check: %s lacks REF(%s, 0x%x)" (Principal.describe p) rtype addr
+  end
+
+(** [lxfi_princ_alias rt ~existing ~fresh] — create name [fresh] for
+    the principal currently named [existing] (Figure 4 line 73). *)
+let lxfi_princ_alias rt ~existing ~fresh =
+  if rt.config.Config.mode = Config.Lxfi then begin
+    let p, mi = require_current_mi rt ~who:"lxfi_princ_alias" in
+    match Hashtbl.find_opt mi.mi_aliases existing with
+    | Some target -> Hashtbl.replace mi.mi_aliases fresh target
+    | None ->
+        (* Aliasing a not-yet-materialised name: if the caller runs as
+           the instance principal named [existing], alias to it. *)
+        if p.Principal.kind = Principal.Instance && p.Principal.primary_name = existing
+        then Hashtbl.replace mi.mi_aliases fresh p
+        else
+          Violation.raise_ ~kind:Violation.Principal_denied ~module_:mi.mi_name
+            "lxfi_princ_alias: no principal named 0x%x" existing
+  end
+
+(** [lxfi_switch_global rt] — switch the current task to the module's
+    global principal (for cross-instance state); undone automatically
+    when the enclosing wrapper returns. *)
+let lxfi_switch_global rt =
+  if rt.config.Config.mode = Config.Lxfi then begin
+    let _, mi = require_current_mi rt ~who:"lxfi_switch_global" in
+    rt.stats.Stats.principal_switches <- rt.stats.Stats.principal_switches + 1;
+    charge rt Cost.principal_switch;
+    rt.current <- Some mi.mi_global
+  end
+
+(** {1 Interrupt entry/exit}
+
+    An interrupt arriving while a module runs must not execute with the
+    module's privileges; the principal is saved on the shadow stack and
+    restored at exit (§3.1). *)
+
+let irq_enter rt =
+  let token = Shadow_stack.push rt.sstack ~wrapper:"(irq)" ~saved_principal:rt.current in
+  rt.current <- None;
+  token
+
+let irq_exit rt token = rt.current <- Shadow_stack.pop rt.sstack ~wrapper:"(irq)" ~token

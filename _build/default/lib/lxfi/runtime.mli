@@ -1,0 +1,190 @@
+(** The LXFI runtime (paper §5): the reference monitor interposed on
+    every control transfer between the core kernel and modules.
+
+    It tracks principals and their capability tables, executes the
+    grant/check/transfer actions that interface annotations prescribe
+    (inside {e wrappers} around each boundary crossing, with shadow-
+    stack protection and principal switching), guards module stores and
+    indirect calls, and checks core-kernel indirect calls through
+    module-writable slots with the writer-set fast path. *)
+
+open Kernel_sim
+
+(** Simulated cycle cost of each guard type (charged to the
+    [Kcycles.Guard] category).  Model constants, calibrated so the
+    netperf reproduction exhibits the paper's Figure 12 shapes; see
+    EXPERIMENTS.md. *)
+module Cost : sig
+  val annotation_action : int
+  (** per capability processed by a copy/transfer/check action *)
+
+  val fn_entry : int
+  val fn_exit : int
+  val mem_write_check : int
+  val mod_indcall_check : int
+  val kernel_indcall_check : int
+  val kernel_indcall_fastpath : int
+  val principal_switch : int
+end
+
+type module_info = {
+  mi_name : string;
+  mi_prog : Mir.Ast.prog;  (** the instrumented program *)
+  mi_shared : Principal.t;
+  mi_global : Principal.t;
+  mutable mi_principals : Principal.t list;  (** all, incl. shared+global *)
+  mi_aliases : (int, Principal.t) Hashtbl.t;  (** name pointer -> principal *)
+  mi_globals : (string, int) Hashtbl.t;  (** module global -> address *)
+  mi_func_addr : (string, int) Hashtbl.t;  (** function -> text address *)
+  mi_func_slot : (string, Annot.Registry.slot) Hashtbl.t;
+      (** propagated annotation (slot type) per kernel-callable function *)
+  mutable mi_ctx : Mir.Interp.ctx option;  (** set by the loader *)
+  mi_sections : (string * int * int) list;  (** (section, base, len) *)
+  mi_stack_base : int;
+  mi_stack_len : int;
+}
+(** Everything the runtime knows about one loaded module. *)
+
+type kexport = {
+  ke_name : string;
+  ke_addr : int;  (** fake kernel-text address (= the wrapper's address) *)
+  ke_params : string list;
+  ke_annot : Annot.Ast.t;
+  ke_ahash : int64;
+  ke_impl : int64 list -> int64;
+}
+(** An annotated kernel export. *)
+
+type t = {
+  kst : Kstate.t;
+  config : Config.t;
+  registry : Annot.Registry.t;  (** function-pointer slot types *)
+  stats : Stats.t;
+  wset : Writer_set.t;
+  modules : (string, module_info) Hashtbl.t;
+  kexports : (string, kexport) Hashtbl.t;
+  kexport_by_addr : (int, kexport) Hashtbl.t;
+  iterators : (string, t -> int64 list -> Capability.t list) Hashtbl.t;
+  func_ahash_by_addr : (int, int64) Hashtbl.t;
+      (** annotation hash of every annotated callable address *)
+  mutable current : Principal.t option;  (** None = kernel context *)
+  sstack : Shadow_stack.t;
+  raw_dispatch : slot:int -> ftype:string -> int64 list -> int64;
+      (** the kernel's original unchecked dispatcher *)
+  kernel_stack_base : int;
+  kernel_stack_len : int;
+}
+
+val create : kst:Kstate.t -> config:Config.t -> t
+(** Set up the runtime (capability stores, shadow stack adjacent to a
+    fresh kernel stack).  Call {!install} to activate the kernel
+    indirect-call checker. *)
+
+val install : t -> unit
+(** Point [Kstate.indcall] at {!kernel_indirect_call}. *)
+
+val current_module : t -> module_info option
+val module_named : t -> string -> module_info option
+
+(** {1 Kernel API surface} *)
+
+val register_kexport :
+  t ->
+  name:string ->
+  params:string list ->
+  annot:string ->
+  (int64 list -> int64) ->
+  kexport
+(** Register an annotated kernel export; the annotation string is
+    parsed ({!Annot.Parser}) and hashed.  Raises [Invalid_argument] on
+    a malformed annotation. *)
+
+val register_iterator :
+  t -> name:string -> (t -> int64 list -> Capability.t list) -> unit
+(** Register a programmer-supplied capability iterator ([skb_caps],
+    [kmalloc_caps], ...; §3.3). *)
+
+val find_kexport : t -> string -> kexport
+
+(** {1 Capabilities and principals} *)
+
+val all_principals : t -> Principal.t list
+
+val principal_has : t -> Principal.t -> Capability.t -> bool
+(** Ownership with the implicit-access rules of §3.1: instances see the
+    shared principal's capabilities; the global principal sees
+    everything the module holds. *)
+
+val has_write_covering : t -> Principal.t -> addr:int -> size:int -> bool
+
+val grant : t -> Principal.t -> Capability.t -> unit
+(** Insert a capability (marking the writer set for non-user WRITE
+    ranges). *)
+
+val revoke_from_all : t -> Capability.t -> unit
+(** Remove the capability — for WRITE, anything intersecting its
+    range — from {e every} principal in the system (§3.3 transfer
+    semantics). *)
+
+val find_or_create_instance : t -> module_info -> name_ptr:int -> Principal.t
+(** The principal named by [name_ptr], following aliases; created on
+    first use. *)
+
+val writers_of : t -> addr:int -> Principal.t list
+(** Principals holding a WRITE capability covering [addr] (the writer
+    set, computed by walking the global principal list as in the
+    paper). *)
+
+(** {1 Wrappers and guards} *)
+
+val entry_guard : t -> unit
+val exit_guard : t -> unit
+
+val call_kexport : t -> kexport -> int64 list -> int64
+(** Module→kernel crossing: pre actions against the calling principal,
+    the implementation in kernel context, post actions granting back to
+    the caller.  From kernel context the implementation runs bare. *)
+
+val run_mir : t -> module_info -> string -> int64 list -> int64
+(** Run a module function in its interpreter context, no wrapper. *)
+
+val invoke_module_function : t -> module_info -> string -> int64 list -> int64
+(** Kernel→module crossing through the function's propagated slot-type
+    annotation: principal selection, pre/post actions, shadow stack.
+    Under LXFI an unannotated function is not kernel-callable (the safe
+    default). *)
+
+val guard_write : t -> module_info -> addr:int -> size:int -> unit
+(** The rewriter-inserted store guard: the current principal must hold
+    a covering WRITE capability. *)
+
+val guard_indcall : t -> module_info -> target:int -> unit
+(** The rewriter-inserted indirect-call guard: the current principal
+    must hold CALL for [target]. *)
+
+val kernel_indirect_call :
+  t -> slot:int -> ftype:string -> int64 list -> int64
+(** [lxfi_check_indcall(pptr, ahash)] (§4.1): writer-set fast path;
+    otherwise every writer of [slot] must hold CALL for the stored
+    target and the target's annotation hash must match [ftype]'s. *)
+
+(** {1 Privileged runtime calls (module-importable as [lxfi_*])} *)
+
+val lxfi_check : t -> rtype:string -> addr:int -> unit
+(** Explicit REF check inserted by module code (Figure 4, line 72). *)
+
+val lxfi_princ_alias : t -> existing:int -> fresh:int -> unit
+(** Create name [fresh] for the principal named [existing] (Figure 4,
+    line 73). *)
+
+val lxfi_switch_global : t -> unit
+(** Switch to the module's global principal for cross-instance state;
+    undone when the enclosing wrapper returns (§3.1). *)
+
+(** {1 Interrupts} *)
+
+val irq_enter : t -> int
+(** Save the interrupted principal on the shadow stack and enter kernel
+    context; returns the token for {!irq_exit}. *)
+
+val irq_exit : t -> int -> unit

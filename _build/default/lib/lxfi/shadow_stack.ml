@@ -1,0 +1,57 @@
+(** Per-thread shadow stacks (§5).
+
+    Each kernel thread gets a shadow stack adjacent to its kernel stack
+    but inaccessible to modules (no WRITE capability is ever granted
+    for it).  Wrappers push a frame at entry — return token and the
+    principal to restore — and validate/pop at exit, enforcing control
+    flow integrity on boundary returns and making principal switches
+    interrupt-safe: IRQ entry saves the interrupted principal, IRQ exit
+    restores it. *)
+
+type frame = {
+  token : int;  (** return token; must match at exit *)
+  saved_principal : Principal.t option;  (** principal to restore (None = kernel) *)
+  wrapper : string;  (** wrapper name, for diagnostics *)
+}
+
+type t = {
+  mutable frames : frame list;
+  mem_base : int;  (** reserved adjacent region (never granted to modules) *)
+  mem_len : int;
+  mutable max_depth : int;
+  mutable token_counter : int;
+}
+
+let create ~mem_base ~mem_len =
+  { frames = []; mem_base; mem_len; max_depth = 0; token_counter = 0 }
+
+let depth t = List.length t.frames
+
+(** [push t ~wrapper ~saved_principal] returns the token the matching
+    [pop] must present. *)
+let push t ~wrapper ~saved_principal =
+  t.token_counter <- t.token_counter + 1;
+  let token = t.token_counter in
+  t.frames <- { token; saved_principal; wrapper } :: t.frames;
+  let d = depth t in
+  if d > t.max_depth then t.max_depth <- d;
+  if d * 16 > t.mem_len then
+    Violation.raise_ ~kind:Violation.Shadow_stack ~module_:wrapper
+      "shadow stack overflow (depth %d)" d;
+  token
+
+(** [pop t ~wrapper ~token] validates the return and yields the
+    principal to restore. *)
+let pop t ~wrapper ~token =
+  match t.frames with
+  | [] ->
+      Violation.raise_ ~kind:Violation.Shadow_stack ~module_:wrapper
+        "return with empty shadow stack"
+  | f :: rest ->
+      if f.token <> token then
+        Violation.raise_ ~kind:Violation.Shadow_stack ~module_:wrapper
+          "return token mismatch (wrapper %s, expected frame %s)" wrapper f.wrapper;
+      t.frames <- rest;
+      f.saved_principal
+
+let top_wrapper t = match t.frames with [] -> None | f :: _ -> Some f.wrapper

@@ -1,0 +1,91 @@
+(** Guard counters — the raw material of Figure 13 ("guards per packet"
+    by type) and the writer-set ablation.
+
+    Counters are cheap monotonic ints; the benchmark harness snapshots
+    them around a workload section and divides by the packet count. *)
+
+type t = {
+  mutable annotation_actions : int;
+      (** copy/transfer/check actions executed by wrappers *)
+  mutable fn_entry : int;  (** wrapper/function entry guards *)
+  mutable fn_exit : int;
+  mutable mem_write_checks : int;  (** module store guards *)
+  mutable mod_indcall_checks : int;  (** module-side indirect-call guards *)
+  mutable kernel_indcall_all : int;  (** kernel indirect-call sites executed *)
+  mutable kernel_indcall_checked : int;  (** ... that needed the capability check *)
+  mutable kernel_indcall_elided : int;  (** ... skipped via writer-set fast path *)
+  mutable caps_granted : int;
+  mutable caps_revoked : int;
+  mutable principal_switches : int;
+}
+
+let create () =
+  {
+    annotation_actions = 0;
+    fn_entry = 0;
+    fn_exit = 0;
+    mem_write_checks = 0;
+    mod_indcall_checks = 0;
+    kernel_indcall_all = 0;
+    kernel_indcall_checked = 0;
+    kernel_indcall_elided = 0;
+    caps_granted = 0;
+    caps_revoked = 0;
+    principal_switches = 0;
+  }
+
+let reset t =
+  t.annotation_actions <- 0;
+  t.fn_entry <- 0;
+  t.fn_exit <- 0;
+  t.mem_write_checks <- 0;
+  t.mod_indcall_checks <- 0;
+  t.kernel_indcall_all <- 0;
+  t.kernel_indcall_checked <- 0;
+  t.kernel_indcall_elided <- 0;
+  t.caps_granted <- 0;
+  t.caps_revoked <- 0;
+  t.principal_switches <- 0
+
+type snapshot = {
+  s_annotation_actions : int;
+  s_fn_entry : int;
+  s_fn_exit : int;
+  s_mem_write_checks : int;
+  s_mod_indcall_checks : int;
+  s_kernel_indcall_all : int;
+  s_kernel_indcall_checked : int;
+  s_kernel_indcall_elided : int;
+}
+
+let snapshot t =
+  {
+    s_annotation_actions = t.annotation_actions;
+    s_fn_entry = t.fn_entry;
+    s_fn_exit = t.fn_exit;
+    s_mem_write_checks = t.mem_write_checks;
+    s_mod_indcall_checks = t.mod_indcall_checks;
+    s_kernel_indcall_all = t.kernel_indcall_all;
+    s_kernel_indcall_checked = t.kernel_indcall_checked;
+    s_kernel_indcall_elided = t.kernel_indcall_elided;
+  }
+
+let since t s =
+  {
+    s_annotation_actions = t.annotation_actions - s.s_annotation_actions;
+    s_fn_entry = t.fn_entry - s.s_fn_entry;
+    s_fn_exit = t.fn_exit - s.s_fn_exit;
+    s_mem_write_checks = t.mem_write_checks - s.s_mem_write_checks;
+    s_mod_indcall_checks = t.mod_indcall_checks - s.s_mod_indcall_checks;
+    s_kernel_indcall_all = t.kernel_indcall_all - s.s_kernel_indcall_all;
+    s_kernel_indcall_checked = t.kernel_indcall_checked - s.s_kernel_indcall_checked;
+    s_kernel_indcall_elided = t.kernel_indcall_elided - s.s_kernel_indcall_elided;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "guards{annot=%d; entry=%d; exit=%d; wcheck=%d; mod-ind=%d; kind=%d \
+     (checked=%d elided=%d); grant=%d; revoke=%d; switch=%d}"
+    t.annotation_actions t.fn_entry t.fn_exit t.mem_write_checks t.mod_indcall_checks
+    t.kernel_indcall_all t.kernel_indcall_checked t.kernel_indcall_elided t.caps_granted
+    t.caps_revoked t.principal_switches

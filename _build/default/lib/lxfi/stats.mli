@@ -1,0 +1,39 @@
+(** Guard counters — the raw material of Figure 13 (guards per packet
+    by type) and the writer-set ablation.  Monotonic; benchmark code
+    snapshots around a workload section and divides by units of work. *)
+
+type t = {
+  mutable annotation_actions : int;
+      (** capability operations performed by wrapper annotations (one
+          count per capability processed) *)
+  mutable fn_entry : int;  (** wrapper/function entry guards *)
+  mutable fn_exit : int;
+  mutable mem_write_checks : int;  (** module store guards *)
+  mutable mod_indcall_checks : int;  (** module-side indirect-call guards *)
+  mutable kernel_indcall_all : int;  (** kernel indirect-call sites executed *)
+  mutable kernel_indcall_checked : int;  (** ... that needed the full check *)
+  mutable kernel_indcall_elided : int;  (** ... skipped via the writer-set fast path *)
+  mutable caps_granted : int;
+  mutable caps_revoked : int;
+  mutable principal_switches : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+type snapshot = {
+  s_annotation_actions : int;
+  s_fn_entry : int;
+  s_fn_exit : int;
+  s_mem_write_checks : int;
+  s_mod_indcall_checks : int;
+  s_kernel_indcall_all : int;
+  s_kernel_indcall_checked : int;
+  s_kernel_indcall_elided : int;
+}
+
+val snapshot : t -> snapshot
+val since : t -> snapshot -> snapshot
+(** Counter deltas since an earlier snapshot. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** API-integrity violations.
+
+    When a check fails, the paper's runtime panics the kernel.  The
+    simulation raises [Violation] instead, which the test and exploit
+    harnesses catch — a caught violation is the "LXFI prevented the
+    exploit" outcome of Figure 8. *)
+
+type kind =
+  | Write_denied  (** store without a covering WRITE capability *)
+  | Call_denied  (** call/jump without a CALL capability *)
+  | Ref_denied  (** argument without the required REF capability *)
+  | Cap_not_owned  (** copy/transfer source does not own the capability *)
+  | Annot_mismatch  (** function vs. slot-type annotation hash differs *)
+  | Shadow_stack  (** return address or principal stack corrupted *)
+  | Principal_denied  (** privileged principal operation without standing *)
+
+let kind_name = function
+  | Write_denied -> "write-denied"
+  | Call_denied -> "call-denied"
+  | Ref_denied -> "ref-denied"
+  | Cap_not_owned -> "cap-not-owned"
+  | Annot_mismatch -> "annotation-mismatch"
+  | Shadow_stack -> "shadow-stack"
+  | Principal_denied -> "principal-denied"
+
+type info = { v_kind : kind; v_module : string; v_detail : string }
+
+exception Violation of info
+
+let raise_ ~kind ~module_ fmt =
+  Format.kasprintf
+    (fun detail ->
+      Kernel_sim.Klog.warn "LXFI violation [%s] in %s: %s" (kind_name kind) module_ detail;
+      raise (Violation { v_kind = kind; v_module = module_; v_detail = detail }))
+    fmt
+
+let pp ppf i =
+  Fmt.pf ppf "LXFI violation [%s] in module %s: %s" (kind_name i.v_kind) i.v_module i.v_detail

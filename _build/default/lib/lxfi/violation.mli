@@ -1,0 +1,24 @@
+(** API-integrity violations.  Where the paper's runtime panics the
+    kernel, the simulation raises {!Violation}; a caught violation is
+    the "LXFI prevented the exploit" outcome of Figure 8. *)
+
+type kind =
+  | Write_denied  (** store without a covering WRITE capability *)
+  | Call_denied  (** call/jump without a CALL capability *)
+  | Ref_denied  (** argument without the required REF capability *)
+  | Cap_not_owned  (** copy/transfer source does not own the capability *)
+  | Annot_mismatch  (** function vs. slot-type annotation hash differs *)
+  | Shadow_stack  (** return address or principal stack corrupted *)
+  | Principal_denied  (** privileged principal operation without standing *)
+
+val kind_name : kind -> string
+
+type info = { v_kind : kind; v_module : string; v_detail : string }
+
+exception Violation of info
+
+val raise_ :
+  kind:kind -> module_:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [raise_ ~kind ~module_ fmt ...] logs and raises {!Violation}. *)
+
+val pp : Format.formatter -> info -> unit

@@ -1,0 +1,29 @@
+(** Writer-set tracking (paper §4.1, §5) — the fast path that lets the
+    kernel skip the capability check on indirect calls through memory
+    no module principal could have written.
+
+    A two-level bitmap at 64-byte-line granularity: a line is marked
+    when any principal is granted a WRITE capability covering it.
+    False positives (marked but never written) cost one unnecessary
+    check; false negatives cannot arise from module stores, because a
+    store needs a WRITE capability and the grant marks first. *)
+
+type t = { lines : (int, unit) Hashtbl.t; mutable marks : int }
+
+val line_shift : int
+(** log2 of the tracking granularity (6 = 64-byte lines). *)
+
+val create : unit -> t
+
+val mark_range : t -> base:int -> size:int -> unit
+(** Mark every line intersecting [base, base+size); no-op for
+    [size <= 0]. *)
+
+val maybe_written : t -> int -> bool
+(** Could any module principal have written the word at this address?
+    [false] means the indirect-call check may be skipped. *)
+
+val clear_range : t -> base:int -> size:int -> unit
+(** Unmark a range (memory zeroed and recycled outside module hands). *)
+
+val marked_lines : t -> int

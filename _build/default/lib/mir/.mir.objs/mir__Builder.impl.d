@@ -1,0 +1,1 @@
+lib/mir/builder.ml: Ast Int64

@@ -1,0 +1,1 @@
+lib/mir/interp.ml: Ast Hashtbl Int64 Kcycles Kernel_sim Kmem Kstate List Printf

@@ -1,0 +1,1 @@
+lib/mir/interp.mli: Ast Kernel_sim Kstate

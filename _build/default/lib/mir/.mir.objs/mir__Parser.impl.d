@@ -1,0 +1,1 @@
+lib/mir/parser.ml: Ast Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/mir/parser.mli: Ast

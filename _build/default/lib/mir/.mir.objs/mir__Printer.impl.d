@@ -1,0 +1,1 @@
+lib/mir/printer.ml: Ast Fmt String

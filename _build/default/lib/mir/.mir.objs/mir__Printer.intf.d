@@ -1,0 +1,1 @@
+lib/mir/printer.mli: Ast Format

@@ -1,0 +1,140 @@
+(** MIR — the module intermediate representation.
+
+    Kernel modules in this reproduction are written in MIR, a small
+    C-like IR that plays the role the compiler IR plays for the paper's
+    clang rewriting plugin (§4.2): it is the program form the LXFI
+    rewriter instruments (write guards, indirect-call guards, wrapper
+    redirection, entry/exit hooks) and the form an interpreter executes
+    against the simulated kernel address space.
+
+    Deliberate properties shared with compiled C kernel code:
+
+    - arithmetic wraps at a declared width (32/64), so the CAN BCM
+      integer-overflow bug can be written exactly as in C;
+    - locals are registers (unaddressable), but [Alloca] carves
+      addressable buffers from the module stack — the target of the MD5
+      microbenchmark's guard-elision optimization;
+    - function pointers are first-class integers ([Funcaddr]) that
+      module code stores into memory, where they can be corrupted;
+    - calls are direct (intra-module), external (imported kernel
+      functions, which LXFI forces through annotated wrappers), or
+      indirect (through a computed address, which LXFI guards). *)
+
+type width = W8 | W16 | W32 | W64
+
+let bytes_of_width = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Urem
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Lshr
+  | Eq
+  | Ne
+  | Lt  (** signed < *)
+  | Le
+  | Gt
+  | Ge
+  | Ult  (** unsigned < *)
+
+type callee =
+  | Direct of string  (** call to a function in the same module *)
+  | Ext of string  (** call to an imported kernel function *)
+  | Indirect of expr  (** call through a computed address *)
+
+and expr =
+  | Const of int64
+  | Var of string  (** local or parameter *)
+  | Glob of string  (** address of a module global *)
+  | Funcaddr of string  (** address of a module function *)
+  | Extaddr of string  (** address of an imported function's wrapper *)
+  | Load of width * expr
+  | Binop of binop * width * expr * expr
+  | Call of callee * expr list
+
+type guard =
+  | Gwrite of width * expr  (** write-capability check for [expr] *)
+  | Gindcall of expr  (** call-capability check for target [expr] *)
+
+type stmt =
+  | Let of string * expr  (** bind or rebind a local *)
+  | Alloca of string * int  (** bind local to a fresh [n]-byte stack buffer *)
+  | Store of width * expr * expr  (** [Store (w, addr, value)] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Expr of expr  (** evaluate for effect *)
+  | Return of expr
+  | Guard of guard  (** inserted by the LXFI rewriter *)
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  export : string option;
+      (** slot-type name if this function's address is installed in a
+          kernel-visible function-pointer slot (drives annotation
+          propagation, §4.2) *)
+}
+
+(** Initialised datum inside a global. *)
+type ginit =
+  | Iword of int * width * int64  (** offset, width, value *)
+  | Ifunc of int * string  (** offset, module function name *)
+  | Iext of int * string  (** offset, imported function name (wrapper address) *)
+
+type section = Data | Rodata | Bss
+
+type glob = {
+  gname : string;
+  gsize : int;
+  gsection : section;
+  ginit : ginit list;
+  gstruct : string option;
+      (** struct type of this global if it instantiates a known kernel
+          struct (lets the loader find typed function-pointer slots) *)
+}
+
+type prog = {
+  pname : string;  (** module name *)
+  funcs : func list;
+  globals : glob list;
+  imports : string list;  (** kernel functions in the symbol table *)
+}
+
+let find_func prog name = List.find_opt (fun f -> f.fname = name) prog.funcs
+
+let find_global prog name = List.find_opt (fun g -> g.gname = name) prog.globals
+
+(** Structural size of a program or function in IR nodes — the "code
+    size" metric used by the Figure 11 reproduction (Δ code size under
+    instrumentation). *)
+let rec expr_size = function
+  | Const _ | Var _ | Glob _ | Funcaddr _ | Extaddr _ -> 1
+  | Load (_, e) -> 1 + expr_size e
+  | Binop (_, _, a, b) -> 1 + expr_size a + expr_size b
+  | Call (c, args) ->
+      let csz = match c with Indirect e -> 1 + expr_size e | _ -> 1 in
+      csz + List.fold_left (fun acc e -> acc + expr_size e) 0 args
+
+let rec stmt_size = function
+  | Let (_, e) -> 1 + expr_size e
+  | Alloca _ -> 1
+  | Store (_, a, v) -> 1 + expr_size a + expr_size v
+  | If (c, t, e) -> 1 + expr_size c + stmts_size t + stmts_size e
+  | While (c, b) -> 1 + expr_size c + stmts_size b
+  | Expr e -> expr_size e
+  | Return e -> 1 + expr_size e
+  | Guard (Gwrite (_, e)) -> 2 + expr_size e
+  | Guard (Gindcall e) -> 2 + expr_size e
+
+and stmts_size l = List.fold_left (fun acc s -> acc + stmt_size s) 0 l
+
+let func_size f = 2 + stmts_size f.body
+
+let prog_size p = List.fold_left (fun acc f -> acc + func_size f) 0 p.funcs

@@ -1,0 +1,87 @@
+(** A small EDSL for writing MIR module code readably.
+
+    The ten kernel modules of the corpus (lib/kmodules) are written with
+    these combinators; the result is plain {!Ast} data that the LXFI
+    rewriter instruments.  Conventions: [i n] is a 64-bit constant, [v]
+    a local, arithmetic defaults to 64-bit with [_32]-suffixed variants
+    wrapping at 32 bits (used by the CAN BCM overflow). *)
+
+open Ast
+
+let i n = Const n
+let ii n = Const (Int64.of_int n)
+let v name = Var name
+let glob name = Glob name
+let fn name = Funcaddr name
+let ext name = Extaddr name
+
+(* Arithmetic *)
+let bin op w a b = Binop (op, w, a, b)
+let ( +: ) a b = bin Add W64 a b
+let ( -: ) a b = bin Sub W64 a b
+let ( *: ) a b = bin Mul W64 a b
+let ( /: ) a b = bin Udiv W64 a b
+let ( %: ) a b = bin Urem W64 a b
+let ( &: ) a b = bin Band W64 a b
+let ( |: ) a b = bin Bor W64 a b
+let ( ^: ) a b = bin Bxor W64 a b
+let ( <<: ) a b = bin Shl W64 a b
+let ( >>: ) a b = bin Lshr W64 a b
+let ( ==: ) a b = bin Eq W64 a b
+let ( <>: ) a b = bin Ne W64 a b
+let ( <: ) a b = bin Lt W64 a b
+let ( <=: ) a b = bin Le W64 a b
+let ( >: ) a b = bin Gt W64 a b
+let ( >=: ) a b = bin Ge W64 a b
+
+(* 32-bit wrapping variants (C's [u32] arithmetic). *)
+let add32 a b = bin Add W32 a b
+let mul32 a b = bin Mul W32 a b
+
+(* Memory *)
+let load w a = Load (w, a)
+let load64 a = Load (W64, a)
+let load32 a = Load (W32, a)
+let load8 a = Load (W8, a)
+let store w a x = Store (w, a, x)
+let store64 a x = Store (W64, a, x)
+let store32 a x = Store (W32, a, x)
+let store8 a x = Store (W8, a, x)
+
+(* Calls *)
+let call name args = Call (Direct name, args)
+let call_ext name args = Call (Ext name, args)
+let call_ind target args = Call (Indirect target, args)
+
+(* Statements *)
+let let_ name e = Let (name, e)
+let alloca name n = Alloca (name, n)
+let if_ c t e = If (c, t, e)
+let when_ c t = If (c, t, [])
+let while_ c b = While (c, b)
+let expr e = Expr e
+let ret e = Return e
+let ret0 = Return (Const 0L)
+
+(** [for_ name ~from ~below body] — counted loop over [name]. *)
+let for_ name ~from ~below body =
+  [
+    let_ name from;
+    while_ (v name <: below) (body @ [ let_ name (v name +: ii 1) ]);
+  ]
+
+(* Definitions *)
+let func ?export name params body = { fname = name; params; body; export }
+
+let global ?(section = Data) ?struct_ ?(init = []) name size =
+  { gname = name; gsize = size; gsection = section; ginit = init; gstruct = struct_ }
+
+(** Global initialiser helpers. *)
+let init_word ?(w = W64) off value = Iword (off, w, value)
+
+let init_int ?(w = W64) off value = Iword (off, w, Int64.of_int value)
+let init_func off fname = Ifunc (off, fname)
+let init_ext off iname = Iext (off, iname)
+
+let prog name ~imports ~globals ~funcs =
+  { pname = name; funcs; globals; imports }

@@ -1,0 +1,95 @@
+(** EDSL for writing MIR module code in OCaml (the module corpus in
+    lib/kmodules is written with these combinators).  Conventions:
+    [i]/[ii] build constants, [v] names locals, arithmetic defaults to
+    64-bit with [add32]/[mul32] wrapping at 32 bits. *)
+
+open Ast
+
+(** {1 Atoms} *)
+
+val i : int64 -> expr
+val ii : int -> expr
+val v : string -> expr
+val glob : string -> expr
+val fn : string -> expr
+(** Address of a module function. *)
+
+val ext : string -> expr
+(** Address of an imported function's wrapper. *)
+
+(** {1 Arithmetic (64-bit unless noted)} *)
+
+val bin : binop -> width -> expr -> expr -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( &: ) : expr -> expr -> expr
+val ( |: ) : expr -> expr -> expr
+val ( ^: ) : expr -> expr -> expr
+val ( <<: ) : expr -> expr -> expr
+val ( >>: ) : expr -> expr -> expr
+val ( ==: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+
+val add32 : expr -> expr -> expr
+(** 32-bit wrapping addition (C's u32 [+]). *)
+
+val mul32 : expr -> expr -> expr
+(** 32-bit wrapping multiplication — the CAN BCM overflow operator. *)
+
+(** {1 Memory} *)
+
+val load : width -> expr -> expr
+val load64 : expr -> expr
+val load32 : expr -> expr
+val load8 : expr -> expr
+val store : width -> expr -> expr -> stmt
+val store64 : expr -> expr -> stmt
+val store32 : expr -> expr -> stmt
+val store8 : expr -> expr -> stmt
+
+(** {1 Calls} *)
+
+val call : string -> expr list -> expr
+(** Intra-module direct call. *)
+
+val call_ext : string -> expr list -> expr
+(** Call to an imported kernel function (wrapper-routed). *)
+
+val call_ind : expr -> expr list -> expr
+(** Indirect call through a computed address (will be guarded). *)
+
+(** {1 Statements} *)
+
+val let_ : string -> expr -> stmt
+val alloca : string -> int -> stmt
+val if_ : expr -> stmt list -> stmt list -> stmt
+val when_ : expr -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+val expr : expr -> stmt
+val ret : expr -> stmt
+val ret0 : stmt
+
+val for_ : string -> from:expr -> below:expr -> stmt list -> stmt list
+(** Counted loop over a named induction variable. *)
+
+(** {1 Definitions} *)
+
+val func : ?export:string -> string -> string list -> stmt list -> func
+
+val global :
+  ?section:section -> ?struct_:string -> ?init:ginit list -> string -> int -> glob
+
+val init_word : ?w:width -> int -> int64 -> ginit
+val init_int : ?w:width -> int -> int -> ginit
+val init_func : int -> string -> ginit
+val init_ext : int -> string -> ginit
+
+val prog :
+  string -> imports:string list -> globals:glob list -> funcs:func list -> prog

@@ -1,0 +1,212 @@
+(** MIR interpreter — executes module code against the simulated kernel
+    address space.
+
+    The interpreter is the "CPU" on which module text runs.  Its
+    security-relevant behaviour is deliberately minimal:
+
+    - stores go straight to {!Kernel_sim.Kmem} (no protection);
+    - explicit [Guard] statements (inserted by the LXFI rewriter) invoke
+      the [guard_write]/[guard_indcall] callbacks, which the LXFI
+      runtime points at its checkers — in stock mode no guards exist;
+    - calls to imported functions are dispatched through [call_ext]
+      (LXFI routes these to annotated wrappers; stock calls raw
+      implementations);
+    - the [on_entry]/[on_exit] hooks fire around every function
+      activation when [hooks_enabled] (shadow-stack/accounting guards
+      of §4.2/§5).
+
+    Returns inside the interpreter use OCaml's own stack, so return-
+    address integrity is structural here; the shadow stack still
+    enforces the boundary-crossing discipline at wrappers, and the
+    entry/exit hook cost is what Figure 13's "function entry/exit"
+    guards measure. *)
+
+open Kernel_sim
+open Ast
+
+type ctx = {
+  kst : Kstate.t;
+  prog : prog;
+  global_addr : string -> int;  (** module global name -> address *)
+  func_addr : string -> int;  (** module function name -> text address *)
+  ext_addr : string -> int;  (** import name -> callable address *)
+  call_ext : int -> int64 list -> int64;
+      (** dispatch a call to an external (kernel) address *)
+  guard_write : addr:int -> size:int -> unit;
+  guard_indcall : target:int -> unit;
+  on_entry : string -> unit;
+  on_exit : string -> unit;
+  hooks_enabled : bool;
+  stack_base : int;
+  stack_len : int;
+  mutable stack_ptr : int;
+  mutable fuel : int;
+  mutable steps : int;
+}
+
+exception Return_value of int64
+
+let default_fuel = 50_000_000
+
+let create ~kst ~prog ~global_addr ~func_addr ~ext_addr ~call_ext ~guard_write
+    ~guard_indcall ~on_entry ~on_exit ~hooks_enabled ~stack_base ~stack_len =
+  {
+    kst;
+    prog;
+    global_addr;
+    func_addr;
+    ext_addr;
+    call_ext;
+    guard_write;
+    guard_indcall;
+    on_entry;
+    on_exit;
+    hooks_enabled;
+    stack_base;
+    stack_len;
+    stack_ptr = stack_base;
+    fuel = default_fuel;
+    steps = 0;
+  }
+
+let tick ctx =
+  ctx.steps <- ctx.steps + 1;
+  Kcycles.charge ctx.kst.Kstate.cycles Kcycles.Module 1;
+  ctx.fuel <- ctx.fuel - 1;
+  if ctx.fuel <= 0 then
+    raise (Kstate.Oops (Printf.sprintf "soft lockup in module %s" ctx.prog.pname))
+
+let truncate w v =
+  match w with
+  | W64 -> v
+  | W32 -> Int64.logand v 0xffff_ffffL
+  | W16 -> Int64.logand v 0xffffL
+  | W8 -> Int64.logand v 0xffL
+
+let bool_ b = if b then 1L else 0L
+
+let eval_binop op w a b =
+  let arith f = truncate w (f a b) in
+  match op with
+  | Add -> arith Int64.add
+  | Sub -> arith Int64.sub
+  | Mul -> arith Int64.mul
+  | Udiv ->
+      if b = 0L then raise (Kstate.Oops "divide error") else arith Int64.unsigned_div
+  | Urem ->
+      if b = 0L then raise (Kstate.Oops "divide error") else arith Int64.unsigned_rem
+  | Band -> arith Int64.logand
+  | Bor -> arith Int64.logor
+  | Bxor -> arith Int64.logxor
+  | Shl -> truncate w (Int64.shift_left a (Int64.to_int b land 63))
+  | Lshr -> truncate w (Int64.shift_right_logical a (Int64.to_int b land 63))
+  | Eq -> bool_ (Int64.equal a b)
+  | Ne -> bool_ (not (Int64.equal a b))
+  | Lt -> bool_ (Int64.compare a b < 0)
+  | Le -> bool_ (Int64.compare a b <= 0)
+  | Gt -> bool_ (Int64.compare a b > 0)
+  | Ge -> bool_ (Int64.compare a b >= 0)
+  | Ult -> bool_ (Int64.unsigned_compare a b < 0)
+
+type frame = { vars : (string, int64) Hashtbl.t; saved_sp : int }
+
+let rec eval ctx frame (e : expr) : int64 =
+  tick ctx;
+  match e with
+  | Const n -> n
+  | Var name -> (
+      match Hashtbl.find_opt frame.vars name with
+      | Some x -> x
+      | None ->
+          raise (Kstate.Oops (Printf.sprintf "module %s: unbound local %s" ctx.prog.pname name)))
+  | Glob name -> Int64.of_int (ctx.global_addr name)
+  | Funcaddr name -> Int64.of_int (ctx.func_addr name)
+  | Extaddr name -> Int64.of_int (ctx.ext_addr name)
+  | Load (w, ea) ->
+      let addr = Int64.to_int (eval ctx frame ea) in
+      Kmem.read ctx.kst.Kstate.mem ~addr ~size:(bytes_of_width w)
+  | Binop (op, w, a, b) ->
+      let va = eval ctx frame a in
+      let vb = eval ctx frame b in
+      eval_binop op w va vb
+  | Call (callee, args) -> (
+      let vargs = List.map (eval ctx frame) args in
+      match callee with
+      | Direct name -> invoke ctx name vargs
+      | Ext name -> ctx.call_ext (ctx.ext_addr name) vargs
+      | Indirect te ->
+          (* The rewriter places a Gindcall guard immediately before any
+             indirect call; by the time we get here the target is
+             approved (or we are running unguarded stock/xfi code). *)
+          let target = Int64.to_int (eval ctx frame te) in
+          call_address ctx target vargs)
+
+and call_address ctx target vargs =
+  (* Intra-module function addresses run in the interpreter; everything
+     else goes out through the external dispatcher. *)
+  match
+    List.find_opt (fun f -> ctx.func_addr f.fname = target) ctx.prog.funcs
+  with
+  | Some f -> invoke ctx f.fname vargs
+  | None -> ctx.call_ext target vargs
+
+and invoke ctx fname vargs =
+  match find_func ctx.prog fname with
+  | None ->
+      raise (Kstate.Oops (Printf.sprintf "module %s: no function %s" ctx.prog.pname fname))
+  | Some f ->
+      if List.length f.params <> List.length vargs then
+        raise
+          (Kstate.Oops
+             (Printf.sprintf "module %s: %s arity mismatch (%d args, want %d)"
+                ctx.prog.pname fname (List.length vargs) (List.length f.params)));
+      let frame = { vars = Hashtbl.create 8; saved_sp = ctx.stack_ptr } in
+      List.iter2 (fun p a -> Hashtbl.replace frame.vars p a) f.params vargs;
+      if ctx.hooks_enabled then ctx.on_entry fname;
+      let result =
+        try
+          exec_stmts ctx frame f.body;
+          0L
+        with Return_value v -> v
+      in
+      ctx.stack_ptr <- frame.saved_sp;
+      if ctx.hooks_enabled then ctx.on_exit fname;
+      result
+
+and exec_stmts ctx frame stmts = List.iter (exec ctx frame) stmts
+
+and exec ctx frame (s : stmt) : unit =
+  tick ctx;
+  match s with
+  | Let (name, e) -> Hashtbl.replace frame.vars name (eval ctx frame e)
+  | Alloca (name, n) ->
+      let aligned = (n + 15) land lnot 15 in
+      if ctx.stack_ptr + aligned > ctx.stack_base + ctx.stack_len then
+        raise (Kstate.Oops (Printf.sprintf "module %s: stack overflow" ctx.prog.pname));
+      let addr = ctx.stack_ptr in
+      ctx.stack_ptr <- ctx.stack_ptr + aligned;
+      Hashtbl.replace frame.vars name (Int64.of_int addr)
+  | Store (w, ea, ev) ->
+      let addr = Int64.to_int (eval ctx frame ea) in
+      let value = eval ctx frame ev in
+      Kmem.write ctx.kst.Kstate.mem ~addr ~size:(bytes_of_width w) value
+  | If (c, t, e) ->
+      if eval ctx frame c <> 0L then exec_stmts ctx frame t else exec_stmts ctx frame e
+  | While (c, body) ->
+      while eval ctx frame c <> 0L do
+        exec_stmts ctx frame body
+      done
+  | Expr e -> ignore (eval ctx frame e)
+  | Return e -> raise (Return_value (eval ctx frame e))
+  | Guard (Gwrite (w, ea)) ->
+      let addr = Int64.to_int (eval ctx frame ea) in
+      ctx.guard_write ~addr ~size:(bytes_of_width w)
+  | Guard (Gindcall ea) ->
+      let target = Int64.to_int (eval ctx frame ea) in
+      ctx.guard_indcall ~target
+
+(** [run ctx fname args] invokes module function [fname]. *)
+let run ctx fname args = invoke ctx fname args
+
+(** [refuel ctx] resets the runaway-loop budget (long benchmarks). *)
+let refuel ?(fuel = default_fuel) ctx = ctx.fuel <- fuel

@@ -1,0 +1,64 @@
+(** MIR interpreter — the "CPU" module text runs on.
+
+    Stores go straight to simulated memory; [Guard] statements invoke
+    the [guard_write]/[guard_indcall] callbacks (wired to the LXFI
+    runtime by the loader; absent in stock code); calls to imports
+    dispatch through [call_ext]; the entry/exit hooks fire around every
+    function activation when [hooks_enabled].  Each evaluated IR node
+    charges one [Kcycles.Module] cycle. *)
+
+open Kernel_sim
+
+type ctx = {
+  kst : Kstate.t;
+  prog : Ast.prog;
+  global_addr : string -> int;
+  func_addr : string -> int;
+  ext_addr : string -> int;
+  call_ext : int -> int64 list -> int64;
+  guard_write : addr:int -> size:int -> unit;
+  guard_indcall : target:int -> unit;
+  on_entry : string -> unit;
+  on_exit : string -> unit;
+  hooks_enabled : bool;
+  stack_base : int;
+  stack_len : int;
+  mutable stack_ptr : int;
+  mutable fuel : int;  (** runaway-loop budget; exhaustion is an Oops *)
+  mutable steps : int;
+}
+
+exception Return_value of int64
+
+val default_fuel : int
+
+val create :
+  kst:Kstate.t ->
+  prog:Ast.prog ->
+  global_addr:(string -> int) ->
+  func_addr:(string -> int) ->
+  ext_addr:(string -> int) ->
+  call_ext:(int -> int64 list -> int64) ->
+  guard_write:(addr:int -> size:int -> unit) ->
+  guard_indcall:(target:int -> unit) ->
+  on_entry:(string -> unit) ->
+  on_exit:(string -> unit) ->
+  hooks_enabled:bool ->
+  stack_base:int ->
+  stack_len:int ->
+  ctx
+
+val truncate : Ast.width -> int64 -> int64
+(** Mask a value to a width (arithmetic wraps at the declared width —
+    how the CAN BCM overflow is expressed). *)
+
+val eval_binop : Ast.binop -> Ast.width -> int64 -> int64 -> int64
+(** Pure binop semantics; division by zero is a [Kstate.Oops]. *)
+
+val run : ctx -> string -> int64 list -> int64
+(** Invoke a module function by name.  Module bugs surface as
+    [Kmem.Fault] / [Kstate.Oops]; guard callbacks may raise LXFI
+    violations. *)
+
+val refuel : ?fuel:int -> ctx -> unit
+(** Reset the runaway-loop budget (long benchmarks). *)

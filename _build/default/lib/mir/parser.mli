@@ -1,0 +1,18 @@
+(** Parser for MIR's textual form — exactly the language {!Printer}
+    emits, so [parse (Printer.to_string p) = p] (qcheck-pinned).  Lets
+    modules live in [.mir] files ([lxfi_sim runmod]).
+
+    The syntax in brief: [module NAME], an [imports:] list, [global
+    name[size] in .data|.rodata|.bss] with optional [: struct s] and
+    [{ +off = u64 N; +off = func f; +off = extern e; }] initialisers,
+    and [func name(params) exports slot { ... }] bodies of C-like
+    statements where loads/stores are explicit ([*u64(addr)]), external
+    calls are [ext:name(...)], indirect calls are [[target](...)], and
+    [/* ... */] comments are allowed. *)
+
+exception Parse_error of { line : int; msg : string }
+
+val parse : string -> Ast.prog
+(** Raises {!Parse_error}. *)
+
+val parse_result : string -> (Ast.prog, string) result

@@ -1,0 +1,101 @@
+(** Pretty-printer for MIR programs (diagnostics, tests, and the
+    documentation examples). *)
+
+open Ast
+
+let pp_width ppf = function
+  | W8 -> Fmt.string ppf "u8"
+  | W16 -> Fmt.string ppf "u16"
+  | W32 -> Fmt.string ppf "u32"
+  | W64 -> Fmt.string ppf "u64"
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Udiv -> "/"
+  | Urem -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Lshr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Ult -> "<u"
+
+let rec pp_expr ppf = function
+  | Const n -> Fmt.pf ppf "%Ld" n
+  | Var x -> Fmt.string ppf x
+  | Glob g -> Fmt.pf ppf "&%s" g
+  | Funcaddr f -> Fmt.pf ppf "&&%s" f
+  | Extaddr f -> Fmt.pf ppf "&&ext:%s" f
+  | Load (w, e) -> Fmt.pf ppf "*%a(%a)" pp_width w pp_expr e
+  | Binop (op, W64, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Binop (op, w, a, b) ->
+      Fmt.pf ppf "(%a %s.%a %a)" pp_expr a (binop_symbol op) pp_width w pp_expr b
+  | Call (Direct f, args) -> Fmt.pf ppf "%s(%a)" f pp_args args
+  | Call (Ext f, args) -> Fmt.pf ppf "ext:%s(%a)" f pp_args args
+  | Call (Indirect t, args) -> Fmt.pf ppf "[%a](%a)" pp_expr t pp_args args
+
+and pp_args ppf args = Fmt.(list ~sep:(any ", ") pp_expr) ppf args
+
+let rec pp_stmt ~indent ppf s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Let (x, e) -> Fmt.pf ppf "%s%s = %a;" pad x pp_expr e
+  | Alloca (x, n) -> Fmt.pf ppf "%s%s = alloca(%d);" pad x n
+  | Store (w, a, v) -> Fmt.pf ppf "%s*%a(%a) = %a;" pad pp_width w pp_expr a pp_expr v
+  | If (c, t, []) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_expr c (pp_block ~indent:(indent + 2)) t pad
+  | If (c, t, e) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_expr c
+        (pp_block ~indent:(indent + 2))
+        t pad
+        (pp_block ~indent:(indent + 2))
+        e pad
+  | While (c, b) ->
+      Fmt.pf ppf "%swhile (%a) {@\n%a@\n%s}" pad pp_expr c (pp_block ~indent:(indent + 2)) b pad
+  | Expr e -> Fmt.pf ppf "%s%a;" pad pp_expr e
+  | Return e -> Fmt.pf ppf "%sreturn %a;" pad pp_expr e
+  | Guard (Gwrite (w, e)) -> Fmt.pf ppf "%slxfi_guard_write(%a, %a);" pad pp_expr e pp_width w
+  | Guard (Gindcall e) -> Fmt.pf ppf "%slxfi_guard_indcall(%a);" pad pp_expr e
+
+and pp_block ~indent ppf stmts =
+  Fmt.(list ~sep:(any "@\n") (pp_stmt ~indent)) ppf stmts
+
+let pp_func ppf f =
+  let export = match f.export with None -> "" | Some t -> " exports " ^ t in
+  Fmt.pf ppf "func %s(%s)%s {@\n%a@\n}" f.fname (String.concat ", " f.params) export
+    (pp_block ~indent:2) f.body
+
+let pp_section ppf = function
+  | Data -> Fmt.string ppf ".data"
+  | Rodata -> Fmt.string ppf ".rodata"
+  | Bss -> Fmt.string ppf ".bss"
+
+let pp_init ppf = function
+  | Iword (off, w, v) -> Fmt.pf ppf "  +%d = %a %Ld;" off pp_width w v
+  | Ifunc (off, f) -> Fmt.pf ppf "  +%d = func %s;" off f
+  | Iext (off, f) -> Fmt.pf ppf "  +%d = extern %s;" off f
+
+let pp_glob ppf g =
+  Fmt.pf ppf "global %s[%d] in %a%s" g.gname g.gsize pp_section g.gsection
+    (match g.gstruct with None -> "" | Some s -> " : struct " ^ s);
+  match g.ginit with
+  | [] -> ()
+  | inits -> Fmt.pf ppf " {@\n%a@\n}" Fmt.(list ~sep:(any "@\n") pp_init) inits
+
+let pp_prog ppf p =
+  Fmt.pf ppf "module %s@\nimports: %s@\n@\n%a@\n@\n%a@\n" p.pname
+    (String.concat ", " p.imports)
+    Fmt.(list ~sep:(any "@\n") pp_glob)
+    p.globals
+    Fmt.(list ~sep:(any "@\n@\n") pp_func)
+    p.funcs
+
+let to_string p = Fmt.str "%a" pp_prog p

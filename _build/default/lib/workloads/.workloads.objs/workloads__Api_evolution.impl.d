@@ -1,0 +1,1 @@
+lib/workloads/api_evolution.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Annot Int64 Kcycles Kernel_sim Kmodules Kstate Ksys List Lxfi Mir Printf

@@ -1,0 +1,1 @@
+lib/workloads/module_bench.mli: Lxfi

@@ -1,0 +1,1 @@
+lib/workloads/netperf_sim.ml: E1000 Irqchip Kcycles Kernel_sim Kmodules Kstate Ksys Lxfi Mir Mod_common Netdev Nic Option Pci Skbuff

@@ -1,0 +1,1 @@
+lib/workloads/netperf_sim.mli: Kernel_sim Kmodules Lxfi

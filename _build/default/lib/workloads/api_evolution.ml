@@ -1,0 +1,66 @@
+(** Kernel API churn survey — the Figure 10 reproduction.
+
+    The paper ran ctags over twenty kernel releases (2.6.20–2.6.39) and
+    counted (a) functions exported from the core kernel and (b)
+    function pointers appearing in structs, plus how many of each
+    changed since the previous release.  The claim the figure supports
+    is that the {e churn} is modest (a few hundred entries per release)
+    against steady {e growth} — so an annotation corpus keeps most of
+    its value across kernel versions.
+
+    We have no Linux source tree in this environment, so the survey is
+    replaced by a generative model seeded with the paper's two anchor
+    datapoints (2.6.21: 5,583 exported functions / 272 changed; 3,725
+    struct function pointers / 183 changed) and the growth visible in
+    the plotted curves (roughly 11,000 and 6,000 by 2.6.39).  Release
+    dates are the historical ones.  Per-release jitter is deterministic
+    (hash of the version number), so the table is reproducible. *)
+
+type row = {
+  version : string;
+  released : string;  (** month/year *)
+  exported_total : int;
+  exported_changed : int;
+  fptr_total : int;
+  fptr_changed : int;
+}
+
+let release_dates =
+  [
+    (20, "02/07"); (21, "04/07"); (22, "07/07"); (23, "10/07"); (24, "01/08");
+    (25, "04/08"); (26, "07/08"); (27, "10/08"); (28, "12/08"); (29, "03/09");
+    (30, "06/09"); (31, "09/09"); (32, "12/09"); (33, "02/10"); (34, "05/10");
+    (35, "08/10"); (36, "10/10"); (37, "01/11"); (38, "03/11"); (39, "05/11");
+  ]
+
+(* Deterministic per-version jitter in [-1, 1). *)
+let jitter v salt =
+  let h = Hashtbl.hash (v * 7919, salt) land 0xffff in
+  (float_of_int h /. 32768.) -. 1.
+
+(* Anchored exponential growth: value at 2.6.21 and a per-release
+   rate reproducing the curve's 2.6.39 endpoint. *)
+let grow ~anchor ~rate v = float_of_int anchor *. (rate ** float_of_int (v - 21))
+
+let table () : row list =
+  List.map
+    (fun (v, date) ->
+      let exported = grow ~anchor:5583 ~rate:1.039 v in
+      let fptrs = grow ~anchor:3725 ~rate:1.027 v in
+      (* churn scales weakly with the interface size: a few percent of
+         the population is new or changed each release *)
+      let exp_changed = (0.045 +. (0.012 *. jitter v 1)) *. exported in
+      let fp_changed = (0.047 +. (0.014 *. jitter v 2)) *. fptrs in
+      {
+        version = Printf.sprintf "2.6.%d" v;
+        released = date;
+        exported_total = int_of_float exported;
+        exported_changed = (if v = 20 then 0 else int_of_float exp_changed);
+        fptr_total = int_of_float fptrs;
+        fptr_changed = (if v = 20 then 0 else int_of_float fp_changed);
+      })
+    release_dates
+
+(** Paper anchors for validation: (version, exported_total,
+    exported_changed, fptr_total, fptr_changed). *)
+let paper_anchor = ("2.6.21", 5583, 272, 3725, 183)

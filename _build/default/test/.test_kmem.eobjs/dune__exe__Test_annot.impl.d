@@ -1,0 +1,1 @@
+test/test_annot.ml: Alcotest Annot Int64 List Result

@@ -1,0 +1,1 @@
+test/test_captable.ml: Alcotest Captable Lxfi Unix

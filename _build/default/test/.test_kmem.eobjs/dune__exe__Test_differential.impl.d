@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Annot Bytes Hashtbl Kernel_sim Klog Kmem Kmodules Kstate Ksys List Lxfi Mir Mod_common QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_e1000.ml: Alcotest Annot E1000 Hashtbl Irqchip Kernel_sim Klog Kmodules Kstate Ksys Lxfi Mir Mod_common Netdev Nic Pci Printf Skbuff Slab

@@ -1,0 +1,1 @@
+test/test_e1000.mli:

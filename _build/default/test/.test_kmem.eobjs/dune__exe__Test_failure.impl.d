@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Annot E1000 Econet Int64 Kernel_sim Klog Kmem Kmodules Kstate Ksys Lxfi Mir Mod_common Netdev Nic Pci Result Skbuff Sockets

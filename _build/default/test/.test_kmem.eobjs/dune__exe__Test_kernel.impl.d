@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Int64 Irqchip Kernel_sim Klock Klog Kmem Kstate Ktypes List Netdev Pci Result Shm Skbuff Slab Sockets Task

@@ -1,0 +1,1 @@
+test/test_kmem.ml: Alcotest Bytes Char Kernel_sim Kmem List Printf String

@@ -1,0 +1,1 @@
+test/test_ktypes.ml: Alcotest Kernel_sim Kstate Ktypes List Netdev Pci Skbuff Sockets

@@ -1,0 +1,1 @@
+test/test_limitations.ml: Alcotest Annot Econet Int64 Kernel_sim Klog Kmem Kmodules Kstate Ksys Ktypes Lxfi Mir Mod_common Slab Sockets

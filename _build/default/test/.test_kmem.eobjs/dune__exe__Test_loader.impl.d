@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Annot Capability Captable Config Hashtbl Kernel_sim Klog Kmem Kstate Ktypes List Loader Lxfi Mir Principal Rewriter Runtime Violation

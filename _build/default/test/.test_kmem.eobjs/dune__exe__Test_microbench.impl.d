@@ -1,0 +1,1 @@
+test/test_microbench.ml: Alcotest Kernel_sim Lazy List Lxfi Microbench Printf Workloads

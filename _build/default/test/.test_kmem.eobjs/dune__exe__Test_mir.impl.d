@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Hashtbl Int64 Kernel_sim Kmem Kstate List Mir String Workloads

@@ -1,0 +1,1 @@
+test/test_mir_parser.ml: Alcotest Catalog E1000 Int64 Kernel_sim Kmodules Ksys List Lxfi Mir Mod_common Printf QCheck QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/test_netperf.ml: Alcotest Api_evolution Float Kernel_sim Lazy List Module_bench Netperf_sim Printf Workloads

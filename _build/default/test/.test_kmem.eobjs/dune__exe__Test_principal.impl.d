@@ -1,0 +1,1 @@
+test/test_principal.ml: Alcotest Capability Config Kernel_sim Klog Kstate Loader Lxfi Mir Principal Runtime Violation

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Annot Array Bytes Char Int64 Kernel_sim List Lxfi Mir Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Can Econet Hashtbl Kernel_sim Klog Kmem Kmodules Kstate Ksys Ktypes List Lxfi Mod_common QCheck QCheck_alcotest Rds Slab Sockets String Task

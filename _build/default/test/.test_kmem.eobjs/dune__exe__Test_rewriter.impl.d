@@ -1,0 +1,1 @@
+test/test_rewriter.ml: Alcotest Hashtbl Kernel_sim List Lxfi Mir

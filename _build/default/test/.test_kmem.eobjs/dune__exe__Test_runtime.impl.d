@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Annot Capability Config Hashtbl Inspect Int64 Kernel_sim Klog Kmem Kstate List Loader Lxfi Mir Principal Runtime Slab Stats String Violation

@@ -1,0 +1,1 @@
+test/test_shadow_stack.ml: Alcotest Config Kernel_sim Lxfi Principal Runtime Shadow_stack Violation

@@ -1,0 +1,1 @@
+test/test_slab.ml: Alcotest Kcycles Kernel_sim Kmem List Printf Slab

@@ -1,0 +1,1 @@
+test/test_unload.ml: Alcotest Blockdev Can Dm_zero Econet Hashtbl Kernel_sim Klog Kmodules Kstate Ksys Lxfi Mod_common Rds Sockets

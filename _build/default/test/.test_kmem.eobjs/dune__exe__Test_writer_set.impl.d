@@ -1,0 +1,1 @@
+test/test_writer_set.ml: Alcotest Capability Config Kernel_sim Lxfi Principal Runtime Writer_set

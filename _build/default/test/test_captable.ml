@@ -1,0 +1,119 @@
+(* Unit tests for the capability tables, including the paper's
+   page-masked multi-slot WRITE representation. *)
+
+open Lxfi
+
+let test_write_basic () =
+  let t = Captable.create () in
+  Captable.add_write t ~base:0x1000 ~size:64;
+  Alcotest.(check bool) "exact range" true (Captable.has_write t ~addr:0x1000 ~size:64);
+  Alcotest.(check bool) "interior byte" true (Captable.has_write t ~addr:0x1020 ~size:1);
+  Alcotest.(check bool) "suffix" true (Captable.has_write t ~addr:0x1030 ~size:16);
+  Alcotest.(check bool) "one past end" false (Captable.has_write t ~addr:0x1040 ~size:1);
+  Alcotest.(check bool) "straddles end" false (Captable.has_write t ~addr:0x1030 ~size:32);
+  Alcotest.(check bool) "before" false (Captable.has_write t ~addr:0xfff ~size:1)
+
+let test_write_spanning_pages () =
+  let t = Captable.create () in
+  (* range covering three pages: must be found from any page's slot *)
+  Captable.add_write t ~base:0x3ff0 ~size:0x2020;
+  Alcotest.(check bool) "first page" true (Captable.has_write t ~addr:0x3ff0 ~size:8);
+  Alcotest.(check bool) "middle page" true (Captable.has_write t ~addr:0x4800 ~size:8);
+  Alcotest.(check bool) "last page" true (Captable.has_write t ~addr:0x6000 ~size:8);
+  Alcotest.(check bool) "cross-page access inside" true
+    (Captable.has_write t ~addr:0x4ffc ~size:8);
+  Alcotest.(check int) "one distinct entry" 1 (Captable.write_count t)
+
+let test_write_removal_spanning () =
+  let t = Captable.create () in
+  Captable.add_write t ~base:0x3ff0 ~size:0x2020;
+  let removed = Captable.remove_write_intersecting t ~base:0x5000 ~size:8 in
+  Alcotest.(check int) "removed once" 1 removed;
+  Alcotest.(check bool) "gone from every slot" false
+    (Captable.has_write t ~addr:0x3ff0 ~size:8);
+  Alcotest.(check int) "count zero" 0 (Captable.write_count t)
+
+let test_write_intersecting_removal () =
+  let t = Captable.create () in
+  Captable.add_write t ~base:0x1000 ~size:64;
+  Captable.add_write t ~base:0x1100 ~size:64;
+  let removed = Captable.remove_write_intersecting t ~base:0x1020 ~size:8 in
+  Alcotest.(check int) "only overlapping entry removed" 1 removed;
+  Alcotest.(check bool) "other survives" true (Captable.has_write t ~addr:0x1100 ~size:64)
+
+let test_write_idempotent_insert () =
+  let t = Captable.create () in
+  Captable.add_write t ~base:0x1000 ~size:64;
+  Captable.add_write t ~base:0x1000 ~size:64;
+  Alcotest.(check int) "no duplicate" 1 (Captable.write_count t)
+
+let test_big_range () =
+  let t = Captable.create () in
+  let base = 0x1000 and size = 0x8000_0000 - 0x1000 in
+  (* a 2 GB blanket must not take 500k insertions *)
+  let t0 = Unix.gettimeofday () in
+  Captable.add_write t ~base ~size;
+  Alcotest.(check bool) "fast insert" true (Unix.gettimeofday () -. t0 < 0.05);
+  Alcotest.(check bool) "covers low" true (Captable.has_write t ~addr:0x2000 ~size:8);
+  Alcotest.(check bool) "covers high" true
+    (Captable.has_write t ~addr:0x7fff_0000 ~size:8);
+  Alcotest.(check bool) "not beyond" false
+    (Captable.has_write t ~addr:0x8000_0000 ~size:8);
+  (* small revocations inside must NOT strip the blanket *)
+  ignore (Captable.remove_write_intersecting t ~base:0x2000 ~size:64);
+  Alcotest.(check bool) "blanket survives small revoke" true
+    (Captable.has_write t ~addr:0x2000 ~size:8);
+  (* full-range revocation does remove it *)
+  ignore (Captable.remove_write_intersecting t ~base:0 ~size:0x9000_0000);
+  Alcotest.(check bool) "blanket removable" false
+    (Captable.has_write t ~addr:0x2000 ~size:8)
+
+let test_find_covering () =
+  let t = Captable.create () in
+  Captable.add_write t ~base:0x1000 ~size:64;
+  (match Captable.find_write_covering t ~addr:0x1010 with
+  | Some e -> Alcotest.(check int) "entry base" 0x1000 e.Captable.base
+  | None -> Alcotest.fail "should cover");
+  Alcotest.(check bool) "miss" true (Captable.find_write_covering t ~addr:0x2000 = None)
+
+let test_call_refs () =
+  let t = Captable.create () in
+  Captable.add_call t ~target:0x4000;
+  Alcotest.(check bool) "call present" true (Captable.has_call t ~target:0x4000);
+  Alcotest.(check bool) "other absent" false (Captable.has_call t ~target:0x4001);
+  Captable.remove_call t ~target:0x4000;
+  Alcotest.(check bool) "call removed" false (Captable.has_call t ~target:0x4000);
+  Captable.add_ref t ~rtype:"pci_dev" ~addr:0x5000;
+  Alcotest.(check bool) "ref present" true (Captable.has_ref t ~rtype:"pci_dev" ~addr:0x5000);
+  Alcotest.(check bool) "type matters" false
+    (Captable.has_ref t ~rtype:"net_device" ~addr:0x5000);
+  Captable.remove_ref t ~rtype:"pci_dev" ~addr:0x5000;
+  Alcotest.(check bool) "ref removed" false
+    (Captable.has_ref t ~rtype:"pci_dev" ~addr:0x5000)
+
+let test_fold_writes () =
+  let t = Captable.create () in
+  Captable.add_write t ~base:0x1000 ~size:0x3000 (* spans pages *);
+  Captable.add_write t ~base:0x9000 ~size:16;
+  let n = Captable.fold_writes t (fun acc ~base:_ ~size:_ -> acc + 1) 0 in
+  Alcotest.(check int) "distinct entries folded once" 2 n
+
+let () =
+  Alcotest.run "captable"
+    [
+      ( "write",
+        [
+          Alcotest.test_case "coverage" `Quick test_write_basic;
+          Alcotest.test_case "page spanning" `Quick test_write_spanning_pages;
+          Alcotest.test_case "spanning removal" `Quick test_write_removal_spanning;
+          Alcotest.test_case "intersecting removal" `Quick test_write_intersecting_removal;
+          Alcotest.test_case "idempotent insert" `Quick test_write_idempotent_insert;
+          Alcotest.test_case "big (user) ranges" `Quick test_big_range;
+          Alcotest.test_case "find covering" `Quick test_find_covering;
+        ] );
+      ( "call/ref",
+        [
+          Alcotest.test_case "call + ref tables" `Quick test_call_refs;
+          Alcotest.test_case "fold distinct" `Quick test_fold_writes;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+(* Failure injection: violations and crashes at awkward moments must
+   leave the system consistent — shadow stack balanced, principal
+   restored to kernel, later legitimate work unaffected.  (The paper's
+   runtime panics; a reusable simulation must clean up instead, and
+   these tests pin that down.) *)
+
+open Kernel_sim
+open Kmodules
+open Mir.Builder
+
+let entry_slot = "bench.entry"
+
+let boot () =
+  let sys = Ksys.boot Lxfi.Config.lxfi in
+  ignore
+    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:entry_slot
+       ~params:[ "n" ] ~annot:"");
+  sys
+
+let load sys prog = fst (Ksys.load sys prog)
+
+let consistent sys =
+  Alcotest.(check int) "shadow stack balanced" 0
+    (Lxfi.Shadow_stack.depth sys.Ksys.rt.Lxfi.Runtime.sstack);
+  Alcotest.(check bool) "kernel context restored" true
+    (sys.Ksys.rt.Lxfi.Runtime.current = None)
+
+let expect_violation f =
+  match f () with
+  | _ -> Alcotest.fail "expected a violation"
+  | exception Lxfi.Violation.Violation _ -> ()
+
+(* a module whose entry misbehaves in a configurable way *)
+let crashy =
+  prog "crashy" ~imports:[ "kmalloc"; "kfree" ] ~globals:[ global "g" 32 ]
+    ~funcs:
+      [
+        func "module_init" [] [ ret0 ];
+        (* n=1: wild store; n=2: NULL load; n=3: divide by zero;
+           n=4: infinite loop; n=5: wild indirect call; else: fine *)
+        func "entry" [ "n" ]
+          [
+            when_ (v "n" ==: ii 1) [ store64 (i 0x2_0BAD_0000L) (ii 1); ret0 ];
+            when_ (v "n" ==: ii 2) [ ret (load64 (ii 8)) ];
+            when_ (v "n" ==: ii 3) [ ret (ii 1 /: ii 0) ];
+            when_ (v "n" ==: ii 4) [ while_ (ii 1) []; ret0 ];
+            when_ (v "n" ==: ii 5)
+              [ let_ "x" (call_ind (i 0x2_0BAD_0010L) []); ret (v "x") ];
+            store64 (glob "g") (v "n");
+            ret (load64 (glob "g"));
+          ]
+          ~export:entry_slot;
+      ]
+
+let invoke sys mi n =
+  Lxfi.Runtime.invoke_module_function sys.Ksys.rt mi "entry" [ Int64.of_int n ]
+
+let test_each_failure_then_recovery () =
+  let sys = boot () in
+  let mi = load sys crashy in
+  (* wild store: violation *)
+  expect_violation (fun () -> invoke sys mi 1);
+  consistent sys;
+  (* NULL load: fault propagates *)
+  (match invoke sys mi 2 with
+  | exception Kmem.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault");
+  consistent sys;
+  (* divide by zero: oops *)
+  (match invoke sys mi 3 with
+  | exception Kstate.Oops _ -> ()
+  | _ -> Alcotest.fail "expected oops");
+  consistent sys;
+  (* wild indirect call: violation *)
+  expect_violation (fun () -> invoke sys mi 5);
+  consistent sys;
+  (* after all that, legitimate work still flows *)
+  Alcotest.(check int64) "module still usable" 9L (invoke sys mi 9)
+
+let test_fuel_exhaustion_cleans_up () =
+  let sys = boot () in
+  let mi = load sys crashy in
+  (match mi.Lxfi.Runtime.mi_ctx with
+  | Some ctx -> Mir.Interp.refuel ~fuel:50_000 ctx
+  | None -> ());
+  (match invoke sys mi 4 with
+  | exception Kstate.Oops _ -> ()
+  | _ -> Alcotest.fail "expected soft lockup");
+  consistent sys;
+  (match mi.Lxfi.Runtime.mi_ctx with
+  | Some ctx -> Mir.Interp.refuel ctx
+  | None -> ());
+  Alcotest.(check int64) "usable after refuel" 7L (invoke sys mi 7)
+
+let test_violation_in_pre_action_cleans_up () =
+  (* a kexport whose pre(check) fails mid-wrapper *)
+  let sys = boot () in
+  let p =
+    prog "checked" ~imports:[ "kfree" ] ~globals:[]
+      ~funcs:
+        [
+          func "module_init" [] [ ret0 ];
+          func "entry" [ "n" ]
+            [ expr (call_ext "kfree" [ i 0x2_00AB_0000L ]); ret0 ]
+            ~export:entry_slot;
+        ]
+  in
+  let mi = load sys p in
+  (* freeing a non-object: the kmalloc_caps iterator oopses *)
+  (match Lxfi.Runtime.invoke_module_function sys.Ksys.rt mi "entry" [ 0L ] with
+  | exception (Kstate.Oops _ | Lxfi.Violation.Violation _) -> ()
+  | _ -> Alcotest.fail "expected failure");
+  consistent sys
+
+let test_violation_during_irq_restores_interrupted_principal () =
+  let sys = boot () in
+  let mi = load sys crashy in
+  (* pretend a module principal was interrupted *)
+  let p = Lxfi.Runtime.find_or_create_instance sys.Ksys.rt mi ~name_ptr:0x9000 in
+  sys.Ksys.rt.Lxfi.Runtime.current <- Some p;
+  let token = Lxfi.Runtime.irq_enter sys.Ksys.rt in
+  (* the handler (module code) violates inside the interrupt *)
+  expect_violation (fun () -> invoke sys mi 1);
+  Lxfi.Runtime.irq_exit sys.Ksys.rt token;
+  (match sys.Ksys.rt.Lxfi.Runtime.current with
+  | Some q -> Alcotest.(check int) "interrupted principal restored" p.Lxfi.Principal.id q.Lxfi.Principal.id
+  | None -> Alcotest.fail "principal lost");
+  sys.Ksys.rt.Lxfi.Runtime.current <- None
+
+let test_violating_module_does_not_poison_others () =
+  let sys = boot () in
+  let bad = load sys crashy in
+  let pcidev, nic = Ksys.add_nic sys ~vendor:E1000.vendor ~device:E1000.device in
+  let _ = Mod_common.install sys E1000.spec in
+  expect_violation (fun () -> invoke sys bad 1);
+  (* the NIC still transmits under full enforcement *)
+  let dev = Pci.pci_get_drvdata sys.Ksys.pci pcidev in
+  let skb = Skbuff.alloc sys.Ksys.kst 64 in
+  Skbuff.set_dev sys.Ksys.kst skb dev;
+  Alcotest.(check int64) "e1000 unaffected" 0L (Netdev.dev_queue_xmit sys.Ksys.net skb);
+  ignore (Nic.drain_tx nic)
+
+let test_oops_inside_syscall_inside_wrapper () =
+  (* the econet pattern: module faults inside a socket op reached via
+     kernel indirect call reached via syscall; everything unwinds *)
+  let sys = Ksys.boot Lxfi.Config.lxfi in
+  let _ = Mod_common.install sys Econet.spec in
+  let fd = Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_econet ~typ:2 in
+  let r =
+    Kstate.with_syscall sys.Ksys.kst (fun () ->
+        Sockets.sys_sendmsg sys.Ksys.sock ~fd ~buf:0 ~len:0 ~flags:Econet.crafted_flags)
+  in
+  Alcotest.(check bool) "syscall failed" true (Result.is_error r);
+  Alcotest.(check int) "shadow stack balanced" 0
+    (Lxfi.Shadow_stack.depth sys.Ksys.rt.Lxfi.Runtime.sstack);
+  (* a fresh socket still works *)
+  let fd2 = Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_econet ~typ:2 in
+  let u = Kstate.user_alloc sys.Ksys.kst 16 in
+  Alcotest.(check int64) "normal sendmsg works" 8L
+    (Sockets.sys_sendmsg sys.Ksys.sock ~fd:fd2 ~buf:u ~len:8 ~flags:0)
+
+let () =
+  Klog.quiet ();
+  Alcotest.run "failure"
+    [
+      ( "injection",
+        [
+          Alcotest.test_case "each failure then recovery" `Quick
+            test_each_failure_then_recovery;
+          Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion_cleans_up;
+          Alcotest.test_case "violation in pre action" `Quick
+            test_violation_in_pre_action_cleans_up;
+          Alcotest.test_case "violation during irq" `Quick
+            test_violation_during_irq_restores_interrupted_principal;
+          Alcotest.test_case "other modules unaffected" `Quick
+            test_violating_module_does_not_poison_others;
+          Alcotest.test_case "oops in syscall in wrapper" `Quick
+            test_oops_inside_syscall_inside_wrapper;
+        ] );
+    ]

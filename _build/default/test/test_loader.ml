@@ -1,0 +1,244 @@
+(* Tests of the module loader: section layout, initial capabilities,
+   annotation propagation, and load-time rejection of bad modules. *)
+
+open Kernel_sim
+open Lxfi
+open Mir.Builder
+
+let boot ?(config = Config.lxfi) () =
+  let kst = Kstate.boot () in
+  let rt = Runtime.create ~kst ~config in
+  ignore
+    (Annot.Registry.define rt.Runtime.registry ~name:"cb.fn" ~params:[ "x" ] ~annot:"");
+  ignore
+    (Runtime.register_kexport rt ~name:"nop" ~params:[] ~annot:"" (fun _ -> 0L));
+  Runtime.install rt;
+  (kst, rt)
+
+let sections mi name =
+  List.find_opt (fun (n, _, _) -> n = name) mi.Runtime.mi_sections
+
+let basic_prog =
+  prog "m" ~imports:[ "nop" ]
+    ~globals:
+      [
+        global "rw" 32 ~init:[ init_int 0 7 ];
+        global "ro" 32 ~section:Mir.Ast.Rodata ~init:[ init_int 0 9 ];
+        global "zeroed" 32 ~section:Mir.Ast.Bss;
+      ]
+    ~funcs:
+      [
+        func "cb" [ "x" ] [ ret (v "x") ] ~export:"cb.fn";
+        func "helper" [ "x" ] [ ret (v "x" +: ii 1) ];
+      ]
+
+let test_sections_and_initializers () =
+  let kst, rt = boot () in
+  let mi, _ = Loader.load rt basic_prog in
+  let rw = Hashtbl.find mi.Runtime.mi_globals "rw" in
+  let ro = Hashtbl.find mi.Runtime.mi_globals "ro" in
+  Alcotest.(check int64) "data initialised" 7L (Kmem.read_u64 kst.Kstate.mem rw);
+  Alcotest.(check int64) "rodata initialised" 9L (Kmem.read_u64 kst.Kstate.mem ro);
+  Alcotest.(check bool) "three sections" true
+    (sections mi "data" <> None && sections mi "rodata" <> None
+    && sections mi "bss" <> None)
+
+let test_initial_capabilities () =
+  let _, rt = boot () in
+  let mi, _ = Loader.load rt basic_prog in
+  let shared = mi.Runtime.mi_shared in
+  let has c = Runtime.principal_has rt shared c in
+  let sec name =
+    match sections mi name with Some (_, b, l) -> (b, l) | None -> assert false
+  in
+  let data, dlen = sec "data" in
+  let ro, _ = sec "rodata" in
+  Alcotest.(check bool) "WRITE on data" true
+    (has (Capability.Cwrite { base = data; size = dlen }));
+  Alcotest.(check bool) "no WRITE on rodata" false
+    (has (Capability.Cwrite { base = ro; size = 8 }));
+  Alcotest.(check bool) "WRITE on module stack" true
+    (has (Capability.Cwrite { base = mi.Runtime.mi_stack_base; size = 64 }));
+  Alcotest.(check bool) "CALL on own function" true
+    (has (Capability.Ccall { target = Hashtbl.find mi.Runtime.mi_func_addr "helper" }));
+  let ke = Runtime.find_kexport rt "nop" in
+  Alcotest.(check bool) "CALL on import wrapper" true
+    (has (Capability.Ccall { target = ke.Runtime.ke_addr }));
+  Alcotest.(check bool) "no WRITE on shadow stack region" false
+    (has
+       (Capability.Cwrite
+          {
+            base = rt.Runtime.kernel_stack_base + rt.Runtime.kernel_stack_len;
+            size = 16;
+          }))
+
+let test_annotation_propagation_from_export () =
+  let _, rt = boot () in
+  let mi, _ = Loader.load rt basic_prog in
+  Alcotest.(check bool) "cb carries slot type" true
+    (Hashtbl.mem mi.Runtime.mi_func_slot "cb");
+  Alcotest.(check bool) "helper carries none" false
+    (Hashtbl.mem mi.Runtime.mi_func_slot "helper");
+  let addr = Hashtbl.find mi.Runtime.mi_func_addr "cb" in
+  Alcotest.(check bool) "ahash registered" true
+    (Hashtbl.mem rt.Runtime.func_ahash_by_addr addr)
+
+let test_propagation_from_struct_initializer () =
+  let kst, rt = boot () in
+  ignore
+    (Ktypes.define kst.Kstate.types "cb_table" [ ("fn", 8, Ktypes.Funcptr "cb.fn") ]);
+  let p =
+    prog "m2" ~imports:[]
+      ~globals:
+        [ global "table" 8 ~struct_:"cb_table" ~init:[ init_func 0 "impl" ] ]
+      ~funcs:[ func "impl" [ "x" ] [ ret (v "x") ] ]
+  in
+  let mi, _ = Loader.load rt p in
+  Alcotest.(check bool) "annotation propagated through struct init" true
+    (Hashtbl.mem mi.Runtime.mi_func_slot "impl")
+
+let test_conflicting_annotations_rejected () =
+  let kst, rt = boot () in
+  ignore
+    (Annot.Registry.define rt.Runtime.registry ~name:"cb.other" ~params:[ "x" ]
+       ~annot:"principal(global)");
+  ignore
+    (Ktypes.define kst.Kstate.types "two_slots"
+       [ ("a", 8, Ktypes.Funcptr "cb.fn"); ("b", 8, Ktypes.Funcptr "cb.other") ]);
+  let p =
+    prog "m3" ~imports:[]
+      ~globals:
+        [
+          global "table" 16 ~struct_:"two_slots"
+            ~init:[ init_func 0 "impl"; init_func 8 "impl" ];
+        ]
+      ~funcs:[ func "impl" [ "x" ] [ ret (v "x") ] ]
+  in
+  match Loader.load rt p with
+  | exception Loader.Load_error _ -> ()
+  | _ -> Alcotest.fail "conflicting propagation must be a load error"
+
+let test_unknown_import_rejected () =
+  let _, rt = boot () in
+  let p = prog "m4" ~imports:[ "no_such_symbol" ] ~globals:[] ~funcs:[] in
+  match Loader.load rt p with
+  | exception Loader.Load_error _ -> ()
+  | _ -> Alcotest.fail "unknown import must be a load error"
+
+let test_unknown_slot_type_rejected () =
+  let _, rt = boot () in
+  let p =
+    prog "m5" ~imports:[] ~globals:[]
+      ~funcs:[ func "f" [] [ ret0 ] ~export:"no.such.slot" ]
+  in
+  match Loader.load rt p with
+  | exception Loader.Load_error _ -> ()
+  | _ -> Alcotest.fail "unknown slot type must be a load error"
+
+let test_duplicate_module_rejected () =
+  let _, rt = boot () in
+  ignore (Loader.load rt basic_prog);
+  match Loader.load rt basic_prog with
+  | exception Loader.Load_error _ -> ()
+  | _ -> Alcotest.fail "duplicate module must be a load error"
+
+let test_fptr_into_undeclared_slot_rejected () =
+  let kst, rt = boot () in
+  ignore
+    (Ktypes.define kst.Kstate.types "half_table"
+       [ ("data", 8, Ktypes.Pointer); ("fn", 8, Ktypes.Funcptr "cb.fn") ]);
+  let p =
+    prog "m6" ~imports:[]
+      ~globals:
+        [ global "table" 16 ~struct_:"half_table" ~init:[ init_func 0 "impl" ] ]
+      ~funcs:[ func "impl" [ "x" ] [ ret (v "x") ] ]
+  in
+  (* the function pointer is stored at the DATA field's offset *)
+  match Loader.load rt p with
+  | exception Loader.Load_error _ -> ()
+  | _ -> Alcotest.fail "fptr into non-slot field must be a load error"
+
+let test_stock_mode_loads_without_caps () =
+  let _, rt = boot ~config:Config.stock () in
+  let mi, _ = Loader.load rt basic_prog in
+  Alcotest.(check int) "no capabilities granted" 0
+    (Captable.write_count mi.Runtime.mi_shared.Principal.caps
+    + Captable.call_count mi.Runtime.mi_shared.Principal.caps)
+
+let test_iext_initialiser_and_indirect_call () =
+  (* a module storing an import's address in a global and calling the
+     kernel through it: the Iext initialiser resolves to the wrapper,
+     the rewriter guards the indirect call, and the CALL capability
+     granted at load approves it *)
+  let _, rt = boot () in
+  let hits = ref 0 in
+  ignore
+    (Runtime.register_kexport rt ~name:"poke" ~params:[] ~annot:"" (fun _ ->
+         incr hits;
+         42L));
+  let p =
+    prog "iext_mod" ~imports:[ "poke" ]
+      ~globals:[ global "vtable" 8 ~init:[ init_ext 0 "poke" ] ]
+      ~funcs:
+        [
+          func "go" []
+            [ let_ "fp" (load64 (glob "vtable")); ret (call_ind (v "fp") []) ];
+        ]
+  in
+  let mi, report = Loader.load rt p in
+  Alcotest.(check bool) "indirect call was guarded" true
+    (report.Rewriter.r_indcall_guards >= 1);
+  Alcotest.(check int64) "dispatched through the wrapper" 42L
+    (Loader.init_call rt mi "go" []);
+  Alcotest.(check int) "kernel impl ran" 1 !hits;
+  (* corrupting the stored pointer is caught by the module-side guard *)
+  let vt = Hashtbl.find mi.Runtime.mi_globals "vtable" in
+  Kmem.write_ptr rt.Runtime.kst.Kstate.mem vt 0xdead0;
+  match Loader.init_call rt mi "go" [] with
+  | exception Violation.Violation v ->
+      Alcotest.(check string) "call-denied" "call-denied"
+        (Violation.kind_name v.Violation.v_kind)
+  | _ -> Alcotest.fail "corrupted vtable call must be refused"
+
+let test_init_call_runs_as_shared () =
+  let _, rt = boot () in
+  let p =
+    prog "m7" ~imports:[] ~globals:[ global "flag" 8 ]
+      ~funcs:[ func "module_init" [] [ store64 (glob "flag") (ii 1); ret0 ] ]
+  in
+  let mi, _ = Loader.load rt p in
+  Alcotest.(check int64) "init ran" 0L (Loader.init_call rt mi "module_init" []);
+  Alcotest.(check bool) "kernel context restored" true (rt.Runtime.current = None)
+
+let () =
+  Klog.quiet ();
+  Alcotest.run "loader"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "sections + initialisers" `Quick test_sections_and_initializers;
+          Alcotest.test_case "initial capabilities" `Quick test_initial_capabilities;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "export declaration" `Quick
+            test_annotation_propagation_from_export;
+          Alcotest.test_case "struct initialiser" `Quick
+            test_propagation_from_struct_initializer;
+          Alcotest.test_case "conflicts rejected" `Quick test_conflicting_annotations_rejected;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "unknown import" `Quick test_unknown_import_rejected;
+          Alcotest.test_case "unknown slot type" `Quick test_unknown_slot_type_rejected;
+          Alcotest.test_case "duplicate module" `Quick test_duplicate_module_rejected;
+          Alcotest.test_case "fptr into non-slot" `Quick test_fptr_into_undeclared_slot_rejected;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "stock loads bare" `Quick test_stock_mode_loads_without_caps;
+          Alcotest.test_case "init_call context" `Quick test_init_call_runs_as_shared;
+          Alcotest.test_case "Iext vtable + indirect call" `Quick
+            test_iext_initialiser_and_indirect_call;
+        ] );
+    ]

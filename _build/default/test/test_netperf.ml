@@ -1,0 +1,154 @@
+(* Tests pinning the Figure 12/13 netperf shapes (coarse bounds — the
+   benchmark harness prints the full numbers). *)
+
+open Workloads
+
+let rows = lazy (Netperf_sim.figure12 ~pkts:1500 ())
+
+let get name = List.find (fun r -> r.Netperf_sim.r_test = name) (Lazy.force rows)
+
+let ratio r = r.Netperf_sim.r_lxfi /. r.Netperf_sim.r_stock
+
+let test_tcp_throughput_unaffected () =
+  List.iter
+    (fun name ->
+      let r = get name in
+      Alcotest.(check (float 0.001)) (name ^ " ratio") 1.0 (ratio r))
+    [ "TCP_STREAM TX"; "TCP_STREAM RX" ]
+
+let test_udp_tx_drops () =
+  let r = get "UDP_STREAM TX" in
+  let ratio = ratio r in
+  Alcotest.(check bool)
+    (Printf.sprintf "UDP TX ratio %.2f in [0.5, 0.8] (paper 0.65)" ratio)
+    true
+    (ratio > 0.5 && ratio < 0.8);
+  Alcotest.(check (float 0.001)) "LXFI UDP TX is CPU-bound" 1.0 r.Netperf_sim.r_lxfi_cpu
+
+let test_udp_rx_unaffected () =
+  let r = get "UDP_STREAM RX" in
+  Alcotest.(check (float 0.001)) "UDP RX ratio" 1.0 (ratio r);
+  Alcotest.(check bool) "CPU rises substantially" true
+    (r.Netperf_sim.r_lxfi_cpu > 1.5 *. r.Netperf_sim.r_stock_cpu)
+
+let test_cpu_always_higher_under_lxfi () =
+  List.iter
+    (fun (r : Netperf_sim.row) ->
+      let effective_cpu m cpu = cpu /. Float.max 1e-9 m in
+      (* compare cpu per achieved unit so throughput drops don't mask
+         the inflation *)
+      Alcotest.(check bool)
+        (r.Netperf_sim.r_test ^ ": cpu/unit higher under LXFI")
+        true
+        (effective_cpu r.Netperf_sim.r_lxfi r.Netperf_sim.r_lxfi_cpu
+        >= effective_cpu r.Netperf_sim.r_stock r.Netperf_sim.r_stock_cpu))
+    (Lazy.force rows)
+
+let test_rr_stock_wins () =
+  List.iter
+    (fun name ->
+      let r = get name in
+      Alcotest.(check bool) (name ^ ": stock >= lxfi") true
+        (r.Netperf_sim.r_stock >= r.Netperf_sim.r_lxfi))
+    [ "TCP_RR"; "UDP_RR"; "TCP_RR (1-switch)"; "UDP_RR (1-switch)" ]
+
+let test_low_latency_hurts_more () =
+  let multi = ratio (get "UDP_RR") in
+  let onesw = ratio (get "UDP_RR (1-switch)") in
+  Alcotest.(check bool)
+    (Printf.sprintf "1-switch ratio %.2f < multi-switch ratio %.2f" onesw multi)
+    true (onesw < multi)
+
+let test_fig13_counts () =
+  let guards, m = Netperf_sim.figure13 ~pkts:1000 () in
+  let get_g name =
+    List.find (fun g -> g.Netperf_sim.g_type = name) guards
+  in
+  Alcotest.(check bool) "write checks dominate counts" true
+    ((get_g "Mem-write check").Netperf_sim.g_per_packet
+    > (get_g "Kernel ind-call all").Netperf_sim.g_per_packet);
+  Alcotest.(check bool) "entry = exit" true
+    (Float.abs
+       ((get_g "Function entry").Netperf_sim.g_per_packet
+       -. (get_g "Function exit").Netperf_sim.g_per_packet)
+    < 0.1);
+  Alcotest.(check bool) "checked < all ind-calls" true
+    ((get_g "Kernel ind-call checked").Netperf_sim.g_per_packet
+    < (get_g "Kernel ind-call all").Netperf_sim.g_per_packet);
+  Alcotest.(check bool) "guard cycles are a real fraction" true
+    (m.Netperf_sim.m_guard_cycles_per_unit > 100.)
+
+let test_writer_set_ablation () =
+  let ws = Netperf_sim.writer_set_ablation ~pkts:1000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "elided fraction %.2f near 2/3" ws.Netperf_sim.ws_on_elided_fraction)
+    true
+    (ws.Netperf_sim.ws_on_elided_fraction > 0.5
+    && ws.Netperf_sim.ws_on_elided_fraction < 0.8);
+  Alcotest.(check bool) "tracking reduces checks" true
+    (ws.Netperf_sim.ws_on_checked < ws.Netperf_sim.ws_off_checked)
+
+let test_api_evolution_anchors () =
+  let rows = Api_evolution.table () in
+  Alcotest.(check int) "twenty releases" 20 (List.length rows);
+  let v21 = List.find (fun r -> r.Api_evolution.version = "2.6.21") rows in
+  let _, exp_t, _, fp_t, _ = Api_evolution.paper_anchor in
+  Alcotest.(check int) "2.6.21 exported anchor" exp_t v21.Api_evolution.exported_total;
+  Alcotest.(check int) "2.6.21 fptr anchor" fp_t v21.Api_evolution.fptr_total;
+  (* growth is monotone; churn stays bounded *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Api_evolution.exported_total <= b.Api_evolution.exported_total && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "growth monotone" true (monotone rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Api_evolution.version ^ " churn modest")
+        true
+        (r.Api_evolution.exported_changed < r.Api_evolution.exported_total / 10))
+    rows;
+  (* determinism *)
+  Alcotest.(check bool) "table deterministic" true (rows = Api_evolution.table ())
+
+let test_module_overheads () =
+  let rows = Module_bench.table ~ops:100 () in
+  Alcotest.(check int) "five workloads" 5 (List.length rows);
+  List.iter
+    (fun (r : Module_bench.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: lxfi costs more (%.0f vs %.0f)" r.Module_bench.mb_module
+           r.Module_bench.mb_lxfi_cycles r.Module_bench.mb_stock_cycles)
+        true
+        (r.Module_bench.mb_lxfi_cycles > r.Module_bench.mb_stock_cycles);
+      Alcotest.(check bool)
+        (r.Module_bench.mb_module ^ ": overhead bounded (< 4x)")
+        true
+        (r.Module_bench.mb_overhead < 3.0))
+    rows
+
+let () =
+  Kernel_sim.Klog.quiet ();
+  Alcotest.run "netperf"
+    [
+      ( "figure 12 shapes",
+        [
+          Alcotest.test_case "TCP throughput unaffected" `Quick
+            test_tcp_throughput_unaffected;
+          Alcotest.test_case "UDP TX drops ~35%" `Quick test_udp_tx_drops;
+          Alcotest.test_case "UDP RX unaffected" `Quick test_udp_rx_unaffected;
+          Alcotest.test_case "CPU inflation" `Quick test_cpu_always_higher_under_lxfi;
+          Alcotest.test_case "RR: stock wins" `Quick test_rr_stock_wins;
+          Alcotest.test_case "low latency hurts more" `Quick test_low_latency_hurts_more;
+        ] );
+      ( "figure 13",
+        [
+          Alcotest.test_case "guard count structure" `Quick test_fig13_counts;
+          Alcotest.test_case "writer-set ablation" `Quick test_writer_set_ablation;
+        ] );
+      ( "figure 10",
+        [ Alcotest.test_case "api evolution model" `Quick test_api_evolution_anchors ] );
+      ( "extension",
+        [ Alcotest.test_case "per-module overheads" `Quick test_module_overheads ] );
+    ]

@@ -1,0 +1,82 @@
+(* Module unloading (rmmod): clean unload after module_exit, refusal of
+   new work afterwards, and the dangling-pointer hazard when an exit
+   function forgets to unregister. *)
+
+open Kernel_sim
+open Kmodules
+
+let test_clean_unload () =
+  let sys = Ksys.boot Lxfi.Config.lxfi in
+  let h = Mod_common.install sys Econet.spec in
+  let fd = Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_econet ~typ:2 in
+  Alcotest.(check bool) "socket worked before unload" true (fd >= 3);
+  ignore (Sockets.sys_close sys.Ksys.sock ~fd);
+  Lxfi.Loader.unload sys.Ksys.rt h.Mod_common.mi;
+  Alcotest.(check int) "module gone from the runtime" 0
+    (Hashtbl.length sys.Ksys.rt.Lxfi.Runtime.modules);
+  (* module_exit unregistered the family: new sockets are refused
+     cleanly, not crashed *)
+  Alcotest.(check int) "family unregistered" (-97)
+    (Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_econet ~typ:2)
+
+let test_reload_after_unload () =
+  let sys = Ksys.boot Lxfi.Config.lxfi in
+  let h = Mod_common.install sys Rds.spec in
+  Lxfi.Loader.unload sys.Ksys.rt h.Mod_common.mi;
+  (* loading the same module again must work (no duplicate-name error) *)
+  let _h2 = Mod_common.install sys Rds.spec in
+  let fd = Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_rds ~typ:2 in
+  Alcotest.(check bool) "reloaded module serves sockets" true (fd >= 3)
+
+let test_dangling_pointer_after_buggy_unload () =
+  (* a module whose exit function forgets sock_unregister: the kernel
+     still holds its create pointer, and the next socket() oopses on a
+     retired address instead of silently running stale code *)
+  let sys = Ksys.boot Lxfi.Config.lxfi in
+  let h = Mod_common.install sys Can.spec in
+  let mi = h.Mod_common.mi in
+  (* simulate the bug by stripping module_exit's effect: unregistering
+     is skipped because we re-register the family behind its back *)
+  Lxfi.Loader.unload sys.Ksys.rt mi;
+  let npf = Mod_common.gaddr mi "can_npf" in
+  ignore (Sockets.sock_register sys.Ksys.sock npf);
+  (match Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_can ~typ:3 with
+  | exception Kstate.Oops _ -> ()
+  | fd -> Alcotest.failf "expected an oops, got fd %d" fd);
+  ()
+
+let test_unload_twice_fails () =
+  let sys = Ksys.boot Lxfi.Config.lxfi in
+  let h = Mod_common.install sys Dm_zero.spec in
+  Blockdev.unregister_target sys.Ksys.blk ~name:"zero";
+  Lxfi.Loader.unload sys.Ksys.rt h.Mod_common.mi;
+  match Lxfi.Loader.unload sys.Ksys.rt h.Mod_common.mi with
+  | exception Lxfi.Loader.Load_error _ -> ()
+  | () -> Alcotest.fail "double unload must fail"
+
+let test_unload_preserves_other_modules () =
+  let sys = Ksys.boot Lxfi.Config.lxfi in
+  let h_rds = Mod_common.install sys Rds.spec in
+  let _h_econet = Mod_common.install sys Econet.spec in
+  Lxfi.Loader.unload sys.Ksys.rt h_rds.Mod_common.mi;
+  let fd = Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_econet ~typ:2 in
+  Alcotest.(check bool) "econet unaffected by rds unload" true (fd >= 3);
+  let u = Kstate.user_alloc sys.Ksys.kst 16 in
+  Alcotest.(check int64) "econet still enforced and working" 8L
+    (Sockets.sys_sendmsg sys.Ksys.sock ~fd ~buf:u ~len:8 ~flags:0)
+
+let () =
+  Klog.quiet ();
+  Alcotest.run "unload"
+    [
+      ( "rmmod",
+        [
+          Alcotest.test_case "clean unload" `Quick test_clean_unload;
+          Alcotest.test_case "reload after unload" `Quick test_reload_after_unload;
+          Alcotest.test_case "dangling pointers oops" `Quick
+            test_dangling_pointer_after_buggy_unload;
+          Alcotest.test_case "double unload fails" `Quick test_unload_twice_fails;
+          Alcotest.test_case "other modules preserved" `Quick
+            test_unload_preserves_other_modules;
+        ] );
+    ]

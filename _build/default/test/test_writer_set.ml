@@ -1,0 +1,70 @@
+(* Tests of writer-set tracking (§4.1, §5). *)
+
+open Lxfi
+
+let test_mark_and_query () =
+  let w = Writer_set.create () in
+  Alcotest.(check bool) "fresh is clean" false (Writer_set.maybe_written w 0x4000);
+  Writer_set.mark_range w ~base:0x4000 ~size:64;
+  Alcotest.(check bool) "marked" true (Writer_set.maybe_written w 0x4000);
+  Alcotest.(check bool) "same line marked" true (Writer_set.maybe_written w 0x403f);
+  Alcotest.(check bool) "aligned 64-byte range stays in one line" false
+    (Writer_set.maybe_written w 0x4040)
+
+let test_line_granularity () =
+  let w = Writer_set.create () in
+  Writer_set.mark_range w ~base:0x4000 ~size:1;
+  Alcotest.(check bool) "whole line conservatively marked" true
+    (Writer_set.maybe_written w 0x403f);
+  Alcotest.(check bool) "next line clean" false (Writer_set.maybe_written w 0x4040)
+
+let test_clear () =
+  let w = Writer_set.create () in
+  Writer_set.mark_range w ~base:0x4000 ~size:256;
+  Writer_set.clear_range w ~base:0x4000 ~size:256;
+  Alcotest.(check bool) "cleared" false (Writer_set.maybe_written w 0x4080)
+
+let test_range_spanning () =
+  let w = Writer_set.create () in
+  Writer_set.mark_range w ~base:0x40f8 ~size:16 (* crosses a line boundary *);
+  Alcotest.(check bool) "first line" true (Writer_set.maybe_written w 0x40f8);
+  Alcotest.(check bool) "second line" true (Writer_set.maybe_written w 0x4100)
+
+let test_zero_size_noop () =
+  let w = Writer_set.create () in
+  Writer_set.mark_range w ~base:0x4000 ~size:0;
+  Alcotest.(check bool) "no mark for empty range" false (Writer_set.maybe_written w 0x4000);
+  Alcotest.(check int) "no lines" 0 (Writer_set.marked_lines w)
+
+(* End-to-end: kernel-owned slots stay clean under a loaded module, so
+   the fast path fires; module-owned slots are dirty. *)
+let test_integration_with_grants () =
+  let kst = Kernel_sim.Kstate.boot () in
+  let rt = Runtime.create ~kst ~config:Config.lxfi in
+  let p = Principal.make ~kind:Principal.Shared ~owner:"m" ~primary_name:0 in
+  Runtime.grant rt p (Capability.Cwrite { base = 0x2_0000_5000; size = 128 });
+  Alcotest.(check bool) "granted range marked" true
+    (Writer_set.maybe_written rt.Runtime.wset 0x2_0000_5040);
+  Alcotest.(check bool) "elsewhere clean" false
+    (Writer_set.maybe_written rt.Runtime.wset 0x2_0000_9000);
+  (* user-space blanket is not marked *)
+  Runtime.grant rt p
+    (Capability.Cwrite
+       { base = Kernel_sim.Kmem.Layout.user_base; size = 0x1000_0000 });
+  Alcotest.(check bool) "user range unmarked" false
+    (Writer_set.maybe_written rt.Runtime.wset 0x10_0000)
+
+let () =
+  Alcotest.run "writer_set"
+    [
+      ( "bitmap",
+        [
+          Alcotest.test_case "mark and query" `Quick test_mark_and_query;
+          Alcotest.test_case "line granularity" `Quick test_line_granularity;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "line spanning" `Quick test_range_spanning;
+          Alcotest.test_case "empty range" `Quick test_zero_size_noop;
+          Alcotest.test_case "grants mark; user blanket does not" `Quick
+            test_integration_with_grants;
+        ] );
+    ]
