@@ -4,7 +4,8 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig12   -- one section
 
-   Sections: fig7 fig8 fig9 fig10 fig11 fig12 fig13 guards ablation.
+   Sections: fig7 fig8 fig9 fig10 fig11 fig12 fig13 guards ablation
+   captable rewrite overheads faultsim.
    Paper reference values are printed alongside; EXPERIMENTS.md records
    the comparison run-by-run. *)
 
@@ -471,6 +472,12 @@ let module_overheads () =
     ~header:[ "Module"; "Operation"; "stock"; "LXFI"; "overhead" ]
     rows
 
+(* Robustness: the deterministic fault-injection campaign against the
+   quarantine policy (see lib/workloads/faultsim.ml and EXPERIMENTS.md,
+   "faultsim").  Seed fixed so the bench output is reproducible. *)
+let faultsim_section () =
+  ignore (Faultsim.print ~seed:42 : int)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -489,6 +496,7 @@ let () =
       ("captable", captable_ablation);
       ("rewrite", rewrite_table);
       ("overheads", module_overheads);
+      ("faultsim", faultsim_section);
     ]
   in
   List.iter (fun (name, f) -> if section_wanted name then f ()) sections;

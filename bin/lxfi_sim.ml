@@ -250,6 +250,26 @@ let dump_cmd =
     (Cmd.info "dump" ~doc:"Print a module's (instrumented) MIR.")
     Term.(const run $ name_arg $ mode_arg)
 
+(* ---- faultsim ---- *)
+
+let faultsim_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed; the same seed reproduces the exact same report.")
+  in
+  let run seed =
+    Kernel_sim.Klog.quiet ();
+    exit (Workloads.Faultsim.print ~seed)
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:"Run the deterministic fault-injection campaign against the \
+             quarantine policy (alloc-fail, drop-grant, corrupt-slot, \
+             watchdog x netperf, can, rds).")
+    Term.(const run $ seed)
+
 (* ---- runmod ---- *)
 
 let runmod_cmd =
@@ -329,4 +349,14 @@ let () =
           (Cmd.info "lxfi_sim" ~version:"1.0"
              ~doc:"LXFI (SOSP 2011) reproduction: SFI with API integrity and \
                    multi-principal kernel modules.")
-          [ exploit_cmd; netperf_cmd; micro_cmd; modules_cmd; annotations_cmd; state_cmd; dump_cmd; runmod_cmd ]))
+          [
+            exploit_cmd;
+            netperf_cmd;
+            micro_cmd;
+            modules_cmd;
+            annotations_cmd;
+            state_cmd;
+            dump_cmd;
+            faultsim_cmd;
+            runmod_cmd;
+          ]))

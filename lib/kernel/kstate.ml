@@ -52,6 +52,9 @@ type t = {
   mutable stack_cursor : int;
   mutable module_cursor : int;
   mutable oops_count : int;
+  mutable finject : Finject.t option;
+      (** armed fault-injection engine, if any (also mirrored into
+          [slab.finject] so the allocator can consult it) *)
 }
 
 let boot () =
@@ -79,6 +82,7 @@ let boot () =
       stack_cursor = Kmem.Layout.kernel_stack_base;
       module_cursor = Kmem.Layout.module_base;
       oops_count = 0;
+      finject = None;
     }
   in
   (* init task (pid 1, root). *)
@@ -220,6 +224,22 @@ let with_syscall t f =
   | Kill_task msg ->
       Klog.warn "task killed: %s" msg;
       Error ("killed: " ^ msg)
+  | Slab.Out_of_memory ->
+      (* ENOMEM is a clean failure, not an oops: the task survives. *)
+      Klog.warn "allocation failed (injected or genuine OOM)";
+      Error "ENOMEM"
+
+(** {1 Fault injection} *)
+
+(** [arm_finject t fi] makes [fi] the active fault-injection engine —
+    both here and in the slab allocator. *)
+let arm_finject t fi =
+  t.finject <- Some fi;
+  t.slab.Slab.finject <- Some fi
+
+let disarm_finject t =
+  t.finject <- None;
+  t.slab.Slab.finject <- None
 
 (** {1 Section carving for module loading} *)
 

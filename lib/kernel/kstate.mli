@@ -44,6 +44,9 @@ type t = {
   mutable stack_cursor : int;
   mutable module_cursor : int;
   mutable oops_count : int;
+  mutable finject : Finject.t option;
+      (** armed fault-injection engine, if any (mirrored into
+          [slab.finject]) *)
 }
 
 val boot : unit -> t
@@ -112,7 +115,16 @@ val do_exit : t -> unit
 
 val with_syscall : t -> (unit -> 'a) -> ('a, string) result
 (** Run a system call: faults and oopses are caught, the oops path
-    (do_exit) runs, and an error is returned. *)
+    (do_exit) runs, and an error is returned.  An injected
+    [Slab.Out_of_memory] is a clean ENOMEM error (no do_exit). *)
+
+(** {1 Fault injection} *)
+
+val arm_finject : t -> Finject.t -> unit
+(** Make an engine the active fault injector, here and in the slab
+    allocator. *)
+
+val disarm_finject : t -> unit
 
 (** {1 Address-space carving} *)
 

@@ -31,6 +31,8 @@ type t = {
   live : (int, int) Hashtbl.t;  (** object addr -> allocated (class) size *)
   mutable alloc_count : int;
   mutable free_count : int;
+  mutable finject : Finject.t option;
+      (** when armed, {!kmalloc} consults it and may fail on purpose *)
 }
 
 let size_classes = [| 16; 32; 64; 96; 128; 192; 256; 512; 1024; 2048; 4096 |]
@@ -50,6 +52,7 @@ let create mem cycles =
     live = Hashtbl.create 256;
     alloc_count = 0;
     free_count = 0;
+    finject = None;
   }
 
 let fresh_pages t n =
@@ -78,6 +81,9 @@ let class_for t size =
 let kmalloc t size =
   if size <= 0 then invalid_arg "Slab.kmalloc: size <= 0";
   Kcycles.charge t.cycles Kcycles.Kernel 25;
+  (match t.finject with
+  | Some fi when Finject.fires fi Finject.Alloc_fail -> raise Out_of_memory
+  | _ -> ());
   t.alloc_count <- t.alloc_count + 1;
   match class_for t size with
   | Some c ->

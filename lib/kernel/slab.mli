@@ -21,6 +21,9 @@ type t = {
   live : (int, int) Hashtbl.t;  (** object addr -> allocated (class) size *)
   mutable alloc_count : int;
   mutable free_count : int;
+  mutable finject : Finject.t option;
+      (** when armed, {!kmalloc} consults it and raises {!Out_of_memory}
+          at the injected event *)
 }
 
 val size_classes : int array

@@ -196,7 +196,13 @@ let register_kexports (t : t) =
   d "kmalloc" [ "size" ] "post(if (return != 0) copy(kmalloc_caps(return)))"
     (fun args ->
       let size = arg 0 args in
-      if size <= 0 then 0L else Int64.of_int (Slab.kmalloc kst.Kstate.slab size));
+      if size <= 0 then 0L
+      else
+        (* An (injected) allocation failure is NULL to the caller, as in
+           the real kernel — modules must handle it. *)
+        match Slab.kmalloc kst.Kstate.slab size with
+        | addr -> Int64.of_int addr
+        | exception Slab.Out_of_memory -> 0L);
   d "kfree" [ "ptr" ] "pre(transfer(kmalloc_caps(ptr)))" (fun args ->
       Slab.kfree kst.Kstate.slab (arg 0 args);
       0L);

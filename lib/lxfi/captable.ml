@@ -168,6 +168,14 @@ let has_ref t ~rtype ~addr = Hashtbl.mem t.refs (rtype, addr)
 let remove_ref t ~rtype ~addr = Hashtbl.remove t.refs (rtype, addr)
 let ref_count t = Hashtbl.length t.refs
 
+(** [clear t] drops every capability of every type — the quarantine
+    revocation primitive. *)
+let clear t =
+  Hashtbl.reset t.writes;
+  t.big <- [];
+  Hashtbl.reset t.calls;
+  Hashtbl.reset t.refs
+
 let pp ppf t =
   Fmt.pf ppf "captable{write=%d; call=%d; ref=%d}" (write_count t) (call_count t)
     (ref_count t)

@@ -64,4 +64,8 @@ val has_ref : t -> rtype:string -> addr:int -> bool
 val remove_ref : t -> rtype:string -> addr:int -> unit
 val ref_count : t -> int
 
+val clear : t -> unit
+(** Drop every capability of every type — the quarantine revocation
+    primitive. *)
+
 val pp : Format.formatter -> t -> unit

@@ -26,6 +26,16 @@ type t = {
   writer_set_tracking : bool;  (** fast-path elision of kernel ind-call checks *)
   opt_elide_safe_writes : bool;  (** drop guards on in-bounds constant-offset stack stores *)
   opt_inline_trivial : bool;  (** inline trivial functions before guarding *)
+  quarantine : bool;
+      (** contain violations by quarantining the faulting principal and
+          returning -EFAULT instead of letting the violation propagate *)
+  escalate_threshold : int;
+      (** quarantine mode: violations within [escalate_window] before the
+          whole module is unloaded *)
+  escalate_window : int;  (** escalation window, in simulated cycles *)
+  watchdog_fuel : int option;
+      (** per-entry interpreter fuel budget; exhaustion becomes a
+          [Watchdog_expired] violation instead of a soft-lockup oops *)
 }
 
 let lxfi =
@@ -34,13 +44,22 @@ let lxfi =
     writer_set_tracking = true;
     opt_elide_safe_writes = true;
     opt_inline_trivial = true;
+    quarantine = false;
+    escalate_threshold = 3;
+    escalate_window = 1_000_000;
+    watchdog_fuel = None;
   }
 
 let stock = { lxfi with mode = Stock }
 let xfi = { lxfi with mode = Xfi }
 
+let lxfi_quarantine = { lxfi with quarantine = true; watchdog_fuel = Some 1_000_000 }
+
 let mode_name = function Stock -> "stock" | Xfi -> "xfi" | Lxfi -> "lxfi"
 
 let pp ppf t =
-  Fmt.pf ppf "%s(ws=%b,elide=%b,inline=%b)" (mode_name t.mode) t.writer_set_tracking
+  Fmt.pf ppf "%s(ws=%b,elide=%b,inline=%b%s%s)" (mode_name t.mode) t.writer_set_tracking
     t.opt_elide_safe_writes t.opt_inline_trivial
+    (if t.quarantine then Printf.sprintf ",quarantine=%d/%dcyc" t.escalate_threshold t.escalate_window
+     else "")
+    (match t.watchdog_fuel with Some n -> Printf.sprintf ",watchdog=%d" n | None -> "")

@@ -19,6 +19,17 @@ type t = {
   opt_inline_trivial : bool;
       (** inline trivial functions before guarding (§8.3, the lld
           result) *)
+  quarantine : bool;
+      (** contain violations by quarantining the faulting principal and
+          returning -EFAULT, instead of letting the violation propagate
+          (the paper panics; see DESIGN.md "Recovery semantics") *)
+  escalate_threshold : int;
+      (** quarantine mode: violations within [escalate_window] before
+          the whole module is unloaded *)
+  escalate_window : int;  (** escalation window, in simulated cycles *)
+  watchdog_fuel : int option;
+      (** per-entry interpreter fuel budget; exhaustion becomes a
+          [Watchdog_expired] violation instead of a soft-lockup oops *)
 }
 
 val lxfi : t
@@ -26,6 +37,10 @@ val lxfi : t
 
 val stock : t
 val xfi : t
+
+val lxfi_quarantine : t
+(** Full enforcement plus fault containment: quarantine on violation and
+    a per-entry watchdog budget. *)
 
 val mode_name : mode -> string
 val pp : Format.formatter -> t -> unit

@@ -10,6 +10,7 @@ type principal_view = {
   pv_calls : int;
   pv_refs : int;
   pv_aliases : int list;  (** the name pointers resolving to this principal *)
+  pv_quarantined : string option;  (** quarantine reason, if contained *)
 }
 
 type module_view = {
@@ -18,6 +19,7 @@ type module_view = {
   mv_globals : int;
   mv_sections : (string * int * int) list;
   mv_principals : principal_view list;
+  mv_dead : string option;  (** retirement reason after escalation *)
 }
 
 type t = {
@@ -27,6 +29,7 @@ type t = {
   iv_shadow_depth : int;
   iv_current : string;  (** who is executing right now *)
   iv_stats : Stats.t;
+  iv_quarantine_log : (string * string) list;  (** (principal, reason), newest first *)
 }
 
 let principal_view (mi : Runtime.module_info) (p : Principal.t) =
@@ -40,6 +43,7 @@ let principal_view (mi : Runtime.module_info) (p : Principal.t) =
         (fun name q acc -> if q.Principal.id = p.Principal.id then name :: acc else acc)
         mi.Runtime.mi_aliases []
       |> List.sort compare;
+    pv_quarantined = p.Principal.quarantined;
   }
 
 let module_view (mi : Runtime.module_info) =
@@ -53,6 +57,7 @@ let module_view (mi : Runtime.module_info) =
         (List.sort
            (fun (a : Principal.t) b -> compare a.Principal.id b.Principal.id)
            mi.Runtime.mi_principals);
+    mv_dead = mi.Runtime.mi_dead;
   }
 
 let capture (rt : Runtime.t) : t =
@@ -68,6 +73,7 @@ let capture (rt : Runtime.t) : t =
       | None -> "(kernel)"
       | Some p -> Principal.describe p);
     iv_stats = rt.Runtime.stats;
+    iv_quarantine_log = rt.Runtime.quarantine_log;
   }
 
 let pp ppf (t : t) =
@@ -76,9 +82,13 @@ let pp ppf (t : t) =
     t.iv_writer_set_lines t.iv_shadow_depth;
   Fmt.pf ppf "  %a@." Stats.pp t.iv_stats;
   List.iter
+    (fun (who, reason) -> Fmt.pf ppf "  quarantined %s: %s@." who reason)
+    t.iv_quarantine_log;
+  List.iter
     (fun m ->
-      Fmt.pf ppf "@.module %s (%d functions, %d globals)@." m.mv_name m.mv_functions
-        m.mv_globals;
+      Fmt.pf ppf "@.module %s (%d functions, %d globals)%s@." m.mv_name m.mv_functions
+        m.mv_globals
+        (match m.mv_dead with None -> "" | Some r -> " [DEAD: " ^ r ^ "]");
       List.iter
         (fun (name, base, len) -> Fmt.pf ppf "  section %-8s 0x%x +%d@." name base len)
         m.mv_sections;
@@ -86,11 +96,15 @@ let pp ppf (t : t) =
         (fun p ->
           Fmt.pf ppf "  %-32s write=%d call=%d ref=%d%s@." p.pv_describe p.pv_writes
             p.pv_calls p.pv_refs
-            (match p.pv_aliases with
-            | [] -> ""
-            | l ->
-                Printf.sprintf " names:[%s]"
-                  (String.concat ", " (List.map (Printf.sprintf "0x%x") l))))
+            ((match p.pv_aliases with
+             | [] -> ""
+             | l ->
+                 Printf.sprintf " names:[%s]"
+                   (String.concat ", " (List.map (Printf.sprintf "0x%x") l)))
+            ^
+            match p.pv_quarantined with
+            | None -> ""
+            | Some r -> " [QUARANTINED: " ^ r ^ "]"))
         m.mv_principals)
     t.iv_modules
 

@@ -9,6 +9,7 @@ type principal_view = {
   pv_calls : int;
   pv_refs : int;
   pv_aliases : int list;
+  pv_quarantined : string option;  (** quarantine reason, if contained *)
 }
 
 type module_view = {
@@ -17,6 +18,7 @@ type module_view = {
   mv_globals : int;
   mv_sections : (string * int * int) list;
   mv_principals : principal_view list;
+  mv_dead : string option;  (** retirement reason after escalation *)
 }
 
 type t = {
@@ -26,6 +28,7 @@ type t = {
   iv_shadow_depth : int;
   iv_current : string;
   iv_stats : Stats.t;
+  iv_quarantine_log : (string * string) list;  (** (principal, reason), newest first *)
 }
 
 val capture : Runtime.t -> t

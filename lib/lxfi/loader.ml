@@ -163,6 +163,8 @@ let load (rt : Runtime.t) (prog : Mir.Ast.prog) : Runtime.module_info * Rewriter
       mi_sections = sections;
       mi_stack_base = stack_base;
       mi_stack_len = stack_len;
+      mi_dead = None;
+      mi_recent_violations = [];
     }
   in
 
@@ -246,7 +248,7 @@ let load (rt : Runtime.t) (prog : Mir.Ast.prog) : Runtime.module_info * Rewriter
       Kstate.register_target kst
         ~name:(mname ^ ":" ^ fname)
         ~addr ~kind:(Kstate.Module_fn mname)
-        (fun args -> Runtime.invoke_module_function rt mi fname args))
+        (fun args -> Quarantine.dispatch rt mi fname args))
     prog.Mir.Ast.funcs;
 
   (* --- interpreter context --- *)
@@ -310,7 +312,6 @@ let load (rt : Runtime.t) (prog : Mir.Ast.prog) : Runtime.module_info * Rewriter
     simulation, which conveniently makes use-after-unload deterministic
     instead of corrupting an unrelated module. *)
 let unload (rt : Runtime.t) (mi : Runtime.module_info) =
-  let kst = rt.Runtime.kst in
   if not (Hashtbl.mem rt.Runtime.modules mi.Runtime.mi_name) then
     fail "module %s is not loaded" mi.Runtime.mi_name;
   if Mir.Ast.find_func mi.Runtime.mi_prog "module_exit" <> None then begin
@@ -322,12 +323,7 @@ let unload (rt : Runtime.t) (mi : Runtime.module_info) =
         rt.Runtime.current <- saved;
         raise e)
   end;
-  Hashtbl.iter
-    (fun _ addr ->
-      Hashtbl.remove kst.Kstate.calltab addr;
-      Hashtbl.remove rt.Runtime.func_ahash_by_addr addr)
-    mi.Runtime.mi_func_addr;
-  Hashtbl.remove rt.Runtime.modules mi.Runtime.mi_name;
+  Runtime.retire_module rt mi;
   Klog.info "unloaded module %s" mi.Runtime.mi_name
 
 (** [init_call rt mi fname args] runs a module initialisation entry

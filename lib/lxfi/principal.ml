@@ -19,13 +19,17 @@ type t = {
   owner : string;  (** module name *)
   primary_name : int;  (** 0 for shared/global; the first name pointer otherwise *)
   caps : Captable.t;
+  mutable quarantined : string option;
+      (** quarantine reason; a quarantined principal holds no
+          capabilities and cannot be selected for entry *)
 }
 
 let counter = ref 0
 
 let make ~kind ~owner ~primary_name =
   incr counter;
-  { id = !counter; kind; owner; primary_name; caps = Captable.create () }
+  { id = !counter; kind; owner; primary_name; caps = Captable.create ();
+    quarantined = None }
 
 let describe t =
   match t.kind with

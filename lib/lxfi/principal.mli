@@ -17,6 +17,9 @@ type t = {
   owner : string;  (** module name *)
   primary_name : int;  (** 0 for shared/global; first name pointer otherwise *)
   caps : Captable.t;
+  mutable quarantined : string option;
+      (** quarantine reason; a quarantined principal holds no
+          capabilities and cannot be selected for entry *)
 }
 
 val make : kind:kind -> owner:string -> primary_name:int -> t

@@ -50,6 +50,9 @@ type module_info = {
   mi_sections : (string * int * int) list;  (** (section, base, len) *)
   mi_stack_base : int;
   mi_stack_len : int;
+  mutable mi_dead : string option;  (** set when the whole module was retired *)
+  mutable mi_recent_violations : int list;
+      (** cycle stamps of recent violations, for escalation windowing *)
 }
 
 type kexport = {
@@ -77,6 +80,15 @@ type t = {
   raw_dispatch : slot:int -> ftype:string -> int64 list -> int64;
   kernel_stack_base : int;
   kernel_stack_len : int;
+  retired : (int, string) Hashtbl.t;
+      (** retired callable address -> owning module (dangling-pointer
+          attribution after unload/escalation) *)
+  mutable quarantine_log : (string * string) list;
+      (** (principal description, reason), newest first *)
+  mutable last_callee : Principal.t option;
+      (** callee principal of the innermost kernel→module entry; lets
+          the quarantine policy attribute faults ([Kmem.Fault]/[Oops])
+          that carry no principal of their own *)
 }
 
 let charge rt n = Kcycles.charge rt.kst.Kstate.cycles Kcycles.Guard n
@@ -109,6 +121,9 @@ let create ~kst ~(config : Config.t) =
       raw_dispatch;
       kernel_stack_base;
       kernel_stack_len;
+      retired = Hashtbl.create 16;
+      quarantine_log = [];
+      last_callee = None;
     }
   in
   rt
@@ -119,6 +134,28 @@ let current_module rt =
   | Some p -> Hashtbl.find_opt rt.modules p.Principal.owner
 
 let module_named rt name = Hashtbl.find_opt rt.modules name
+
+(** Fault location of a module's innermost executing function, e.g.
+    ["entry@1234"] (function name @ interpreter step count). *)
+let where_of mi =
+  match mi.mi_ctx with
+  | Some ctx when ctx.Mir.Interp.cur_fn <> "" ->
+      Some (Printf.sprintf "%s@%d" ctx.Mir.Interp.cur_fn ctx.Mir.Interp.steps)
+  | _ -> None
+
+(** [retire_module rt mi] pulls every kernel-callable address the
+    module registered out of the dispatch tables and records it in
+    [rt.retired] — the retirement path shared by [Loader.unload] and
+    quarantine escalation.  The module stops being resolvable by
+    name. *)
+let retire_module rt mi =
+  Hashtbl.iter
+    (fun _fname addr ->
+      Hashtbl.remove rt.kst.Kstate.calltab addr;
+      Hashtbl.remove rt.func_ahash_by_addr addr;
+      Hashtbl.replace rt.retired addr mi.mi_name)
+    mi.mi_func_addr;
+  Hashtbl.remove rt.modules mi.mi_name
 
 (** {1 Kernel exports and capability iterators} *)
 
@@ -173,16 +210,22 @@ let principal_has rt (p : Principal.t) (c : Capability.t) : bool =
     | Capability.Cref { rtype; addr } -> Captable.has_ref tbl ~rtype ~addr
     | Capability.Ccall { target } -> Captable.has_call tbl ~target
   in
-  if table_has p.Principal.caps then true
+  if p.Principal.quarantined <> None then false
+  else if table_has p.Principal.caps then true
   else
     match Hashtbl.find_opt rt.modules p.Principal.owner with
     | None -> false
     | Some mi -> (
         match p.Principal.kind with
         | Principal.Shared -> false
-        | Principal.Instance -> table_has mi.mi_shared.Principal.caps
+        | Principal.Instance ->
+            mi.mi_shared.Principal.quarantined = None
+            && table_has mi.mi_shared.Principal.caps
         | Principal.Global ->
-            List.exists (fun q -> table_has q.Principal.caps) mi.mi_principals)
+            List.exists
+              (fun (q : Principal.t) ->
+                q.Principal.quarantined = None && table_has q.Principal.caps)
+              mi.mi_principals)
 
 (** [has_write_covering rt p ~addr ~size] — like [principal_has] for a
     WRITE query at an interior address. *)
@@ -190,18 +233,28 @@ let has_write_covering rt p ~addr ~size =
   principal_has rt p (Capability.Cwrite { base = addr; size })
 
 let grant rt (p : Principal.t) (c : Capability.t) =
-  rt.stats.Stats.caps_granted <- rt.stats.Stats.caps_granted + 1;
-  (match c with
-  | Capability.Cwrite { base; size } ->
-      Captable.add_write p.Principal.caps ~base ~size;
-      (* User-space windows are not writer-set-marked: the kernel never
-         loads function pointers it will call from user memory (and a
-         corrupted slot pointing *into* user space is caught by the
-         CALL-capability check on the slot's own writers). *)
-      if not (Kmem.Layout.is_user base) then Writer_set.mark_range rt.wset ~base ~size
-  | Capability.Cref { rtype; addr } -> Captable.add_ref p.Principal.caps ~rtype ~addr
-  | Capability.Ccall { target } -> Captable.add_call p.Principal.caps ~target);
-  ()
+  let dropped =
+    match rt.kst.Kstate.finject with
+    | Some fi when Finject.fires fi Finject.Drop_grant ->
+        rt.stats.Stats.caps_dropped <- rt.stats.Stats.caps_dropped + 1;
+        Klog.debug "finject: dropped grant of %s to %s" (Capability.to_string c)
+          (Principal.describe p);
+        true
+    | _ -> false
+  in
+  if not dropped then begin
+    rt.stats.Stats.caps_granted <- rt.stats.Stats.caps_granted + 1;
+    match c with
+    | Capability.Cwrite { base; size } ->
+        Captable.add_write p.Principal.caps ~base ~size;
+        (* User-space windows are not writer-set-marked: the kernel never
+           loads function pointers it will call from user memory (and a
+           corrupted slot pointing *into* user space is caught by the
+           CALL-capability check on the slot's own writers). *)
+        if not (Kmem.Layout.is_user base) then Writer_set.mark_range rt.wset ~base ~size
+    | Capability.Cref { rtype; addr } -> Captable.add_ref p.Principal.caps ~rtype ~addr
+    | Capability.Ccall { target } -> Captable.add_call p.Principal.caps ~target
+  end
 
 (** [revoke_from_all rt c] removes [c] (and for WRITE, anything
     intersecting its range) from every principal in the system — the
@@ -428,10 +481,18 @@ let select_principal rt mi (slot : Annot.Registry.slot) env =
         find_or_create_instance rt mi ~name_ptr
       else mi.mi_shared
 
-let run_mir _rt mi fname args =
+let run_mir rt mi fname args =
   match mi.mi_ctx with
   | None -> invalid_arg (Printf.sprintf "module %s has no interpreter context" mi.mi_name)
-  | Some ctx -> Mir.Interp.run ctx fname args
+  | Some ctx -> (
+      try Mir.Interp.run ctx fname args
+      with Mir.Interp.Fuel_exhausted _ ->
+        (* Only ever raised when we armed the watchdog below. *)
+        rt.stats.Stats.watchdog_expiries <- rt.stats.Stats.watchdog_expiries + 1;
+        Violation.raise_ ?principal:rt.current ?where:(where_of mi)
+          ~kind:Violation.Watchdog_expired ~module_:mi.mi_name
+          "entry exceeded its fuel budget of %d"
+          (Option.value ~default:0 rt.config.Config.watchdog_fuel))
 
 (** [invoke_module_function rt mi fname args] — kernel→module crossing
     through the function's propagated annotation (its slot type).  The
@@ -448,12 +509,32 @@ let invoke_module_function rt mi fname args =
               "kernel invoked unannotated module function %s" fname
           else run_mir rt mi fname args
       | Some slot ->
+          (match mi.mi_dead with
+          | Some reason ->
+              Violation.raise_ ~kind:Violation.Principal_denied ~module_:mi.mi_name
+                "kernel invoked function %s of dead module (%s)" fname reason
+          | None -> ());
           entry_guard rt;
           let wrapper = mi.mi_name ^ ":" ^ fname in
           let token = Shadow_stack.push rt.sstack ~wrapper ~saved_principal:rt.current in
           let run () =
             let env = { params = slot.Annot.Registry.sl_params; args; ret = None } in
             let callee = select_principal rt mi slot env in
+            (match callee.Principal.quarantined with
+            | Some reason ->
+                Violation.raise_ ~principal:callee ~kind:Violation.Principal_denied
+                  ~module_:mi.mi_name "entry %s via quarantined principal (%s)" fname
+                  reason
+            | None -> ());
+            rt.last_callee <- Some callee;
+            (* Arm the per-entry watchdog: the budget is per kernel→module
+               crossing, so a wedged entry point expires instead of
+               soft-locking the simulation. *)
+            (match (rt.config.Config.watchdog_fuel, mi.mi_ctx) with
+            | Some budget, Some ctx ->
+                ctx.Mir.Interp.watchdog <- true;
+                Mir.Interp.refuel ~fuel:budget ctx
+            | _ -> ());
             run_actions rt mi callee ~dir:K2M ~phase:`Pre env
               (Annot.Ast.pre_actions slot.Annot.Registry.sl_annot);
             rt.stats.Stats.principal_switches <- rt.stats.Stats.principal_switches + 1;
@@ -487,8 +568,9 @@ let guard_write rt mi ~addr ~size =
         "module store executed without a module principal"
   | Some p ->
       if not (has_write_covering rt p ~addr ~size) then
-        Violation.raise_ ~kind:Violation.Write_denied ~module_:mi.mi_name
-          "store of %d bytes at 0x%x by %s" size addr (Principal.describe p)
+        Violation.raise_ ~principal:p ?where:(where_of mi) ~kind:Violation.Write_denied
+          ~module_:mi.mi_name "store of %d bytes at 0x%x by %s" size addr
+          (Principal.describe p)
 
 let guard_indcall rt mi ~target =
   rt.stats.Stats.mod_indcall_checks <- rt.stats.Stats.mod_indcall_checks + 1;
@@ -499,8 +581,8 @@ let guard_indcall rt mi ~target =
         "module indirect call without a module principal"
   | Some p ->
       if not (principal_has rt p (Capability.Ccall { target })) then
-        Violation.raise_ ~kind:Violation.Call_denied ~module_:mi.mi_name
-          "indirect call to %s by %s"
+        Violation.raise_ ~principal:p ?where:(where_of mi) ~kind:Violation.Call_denied
+          ~module_:mi.mi_name "indirect call to %s by %s"
           (Fmt.str "%a" (Ksym.pp_addr rt.kst.Kstate.sym) target)
           (Principal.describe p)
 
@@ -531,6 +613,17 @@ let writers_of rt ~addr =
 let kernel_indirect_call rt ~slot ~ftype args =
   rt.stats.Stats.kernel_indcall_all <- rt.stats.Stats.kernel_indcall_all + 1;
   let dispatch () = rt.raw_dispatch ~slot ~ftype args in
+  (* Under quarantine, a pointer to a retired (unloaded/escalated)
+     function is a contained violation, not an oops: the fault is
+     attributed to the module that owned the address. *)
+  (if rt.config.Config.quarantine then
+     let target = Kmem.read_ptr rt.kst.Kstate.mem slot in
+     match Hashtbl.find_opt rt.retired target with
+     | Some owner ->
+         Violation.raise_ ~kind:Violation.Call_denied ~module_:owner
+           "kernel indirect call via slot 0x%x (%s) to retired address 0x%x" slot ftype
+           target
+     | None -> ());
   if rt.config.Config.mode <> Config.Lxfi then dispatch ()
   else if rt.config.Config.writer_set_tracking && not (Writer_set.maybe_written rt.wset slot)
   then begin
@@ -552,7 +645,8 @@ let kernel_indirect_call rt ~slot ~ftype args =
         List.iter
           (fun (p : Principal.t) ->
             if not (principal_has rt p (Capability.Ccall { target })) then
-              Violation.raise_ ~kind:Violation.Call_denied ~module_:p.Principal.owner
+              Violation.raise_ ~principal:p ~kind:Violation.Call_denied
+                ~module_:p.Principal.owner
                 "kernel indirect call via slot 0x%x (%s): writer %s lacks CALL for %s"
                 slot ftype (Principal.describe p)
                 (Fmt.str "%a" (Ksym.pp_addr rt.kst.Kstate.sym) target))
@@ -605,8 +699,9 @@ let lxfi_check rt ~rtype ~addr =
   if rt.config.Config.mode = Config.Lxfi then begin
     let p, mi = require_current_mi rt ~who:"lxfi_check" in
     if not (principal_has rt p (Capability.Cref { rtype; addr })) then
-      Violation.raise_ ~kind:Violation.Ref_denied ~module_:mi.mi_name
-        "lxfi_check: %s lacks REF(%s, 0x%x)" (Principal.describe p) rtype addr
+      Violation.raise_ ~principal:p ?where:(where_of mi) ~kind:Violation.Ref_denied
+        ~module_:mi.mi_name "lxfi_check: %s lacks REF(%s, 0x%x)" (Principal.describe p)
+        rtype addr
   end
 
 (** [lxfi_princ_alias rt ~existing ~fresh] — create name [fresh] for

@@ -42,6 +42,9 @@ type module_info = {
   mi_sections : (string * int * int) list;  (** (section, base, len) *)
   mi_stack_base : int;
   mi_stack_len : int;
+  mutable mi_dead : string option;  (** set when the whole module was retired *)
+  mutable mi_recent_violations : int list;
+      (** cycle stamps of recent violations, for escalation windowing *)
 }
 (** Everything the runtime knows about one loaded module. *)
 
@@ -73,6 +76,14 @@ type t = {
       (** the kernel's original unchecked dispatcher *)
   kernel_stack_base : int;
   kernel_stack_len : int;
+  retired : (int, string) Hashtbl.t;
+      (** retired callable address -> owning module (dangling-pointer
+          attribution after unload/escalation) *)
+  mutable quarantine_log : (string * string) list;
+      (** (principal description, reason), newest first *)
+  mutable last_callee : Principal.t option;
+      (** callee principal of the innermost kernel→module entry, for
+          attributing faults that carry no principal *)
 }
 
 val create : kst:Kstate.t -> config:Config.t -> t
@@ -85,6 +96,15 @@ val install : t -> unit
 
 val current_module : t -> module_info option
 val module_named : t -> string -> module_info option
+
+val where_of : module_info -> string option
+(** Fault location of the module's innermost executing function, e.g.
+    ["entry@1234"] (function name @ interpreter step count). *)
+
+val retire_module : t -> module_info -> unit
+(** Pull every kernel-callable address the module registered out of the
+    dispatch tables, recording each in [retired] — shared by
+    [Loader.unload] and quarantine escalation. *)
 
 (** {1 Kernel API surface} *)
 

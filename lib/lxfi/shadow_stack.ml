@@ -55,3 +55,21 @@ let pop t ~wrapper ~token =
       f.saved_principal
 
 let top_wrapper t = match t.frames with [] -> None | f :: _ -> Some f.wrapper
+
+(** [unwind_to t ~depth] discards frames above [depth] without token
+    validation — the quarantine path abandoning a faulted module's
+    activations to return control to the kernel frame.  Returns the
+    innermost discarded frame's saved principal (the principal that was
+    current before the oldest abandoned wrapper ran), or [None] when
+    nothing is discarded. *)
+let unwind_to t ~depth =
+  if depth < 0 then invalid_arg "Shadow_stack.unwind_to: depth < 0";
+  let rec go acc frames =
+    if List.length frames <= depth then (acc, frames)
+    else match frames with
+      | [] -> (acc, [])
+      | f :: rest -> go (Some f) rest
+  in
+  let last_discarded, kept = go None t.frames in
+  t.frames <- kept;
+  match last_discarded with None -> None | Some f -> f.saved_principal

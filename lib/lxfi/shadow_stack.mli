@@ -31,3 +31,10 @@ val pop : t -> wrapper:string -> token:int -> Principal.t option
     stack. *)
 
 val top_wrapper : t -> string option
+
+val unwind_to : t -> depth:int -> Principal.t option
+(** Discard frames above [depth] without token validation — the
+    quarantine path abandoning a faulted module's activations.  Returns
+    the saved principal of the innermost discarded frame (what was
+    current before the oldest abandoned wrapper), or [None] if nothing
+    was discarded. *)

@@ -17,6 +17,12 @@ type t = {
   mutable caps_granted : int;
   mutable caps_revoked : int;
   mutable principal_switches : int;
+  mutable violations : int;
+  mutable quarantines : int;  (** principals quarantined *)
+  mutable escalations : int;  (** whole-module unloads after repeat offenses *)
+  mutable watchdog_expiries : int;
+  mutable caps_dropped : int;  (** grants suppressed by fault injection *)
+  violations_by_module : (string, int) Hashtbl.t;
 }
 
 let create () =
@@ -32,6 +38,12 @@ let create () =
     caps_granted = 0;
     caps_revoked = 0;
     principal_switches = 0;
+    violations = 0;
+    quarantines = 0;
+    escalations = 0;
+    watchdog_expiries = 0;
+    caps_dropped = 0;
+    violations_by_module = Hashtbl.create 8;
   }
 
 let reset t =
@@ -45,7 +57,23 @@ let reset t =
   t.kernel_indcall_elided <- 0;
   t.caps_granted <- 0;
   t.caps_revoked <- 0;
-  t.principal_switches <- 0
+  t.principal_switches <- 0;
+  t.violations <- 0;
+  t.quarantines <- 0;
+  t.escalations <- 0;
+  t.watchdog_expiries <- 0;
+  t.caps_dropped <- 0;
+  Hashtbl.reset t.violations_by_module
+
+(** [note_violation t module_] bumps the global and per-module violation
+    counters. *)
+let note_violation t module_ =
+  t.violations <- t.violations + 1;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.violations_by_module module_) in
+  Hashtbl.replace t.violations_by_module module_ (n + 1)
+
+let module_violations t module_ =
+  Option.value ~default:0 (Hashtbl.find_opt t.violations_by_module module_)
 
 type snapshot = {
   s_annotation_actions : int;
@@ -85,7 +113,9 @@ let since t s =
 let pp ppf t =
   Fmt.pf ppf
     "guards{annot=%d; entry=%d; exit=%d; wcheck=%d; mod-ind=%d; kind=%d \
-     (checked=%d elided=%d); grant=%d; revoke=%d; switch=%d}"
+     (checked=%d elided=%d); grant=%d; revoke=%d; switch=%d; viol=%d; \
+     quarantine=%d; escalate=%d; watchdog=%d; dropped=%d}"
     t.annotation_actions t.fn_entry t.fn_exit t.mem_write_checks t.mod_indcall_checks
     t.kernel_indcall_all t.kernel_indcall_checked t.kernel_indcall_elided t.caps_granted
-    t.caps_revoked t.principal_switches
+    t.caps_revoked t.principal_switches t.violations t.quarantines t.escalations
+    t.watchdog_expiries t.caps_dropped

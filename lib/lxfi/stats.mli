@@ -16,10 +16,22 @@ type t = {
   mutable caps_granted : int;
   mutable caps_revoked : int;
   mutable principal_switches : int;
+  mutable violations : int;
+  mutable quarantines : int;  (** principals quarantined *)
+  mutable escalations : int;  (** whole-module unloads after repeat offenses *)
+  mutable watchdog_expiries : int;
+  mutable caps_dropped : int;  (** grants suppressed by fault injection *)
+  violations_by_module : (string, int) Hashtbl.t;
 }
 
 val create : unit -> t
 val reset : t -> unit
+
+val note_violation : t -> string -> unit
+(** Bump the global and per-module violation counters. *)
+
+val module_violations : t -> string -> int
+(** Total violations recorded against a module. *)
 
 type snapshot = {
   s_annotation_actions : int;

@@ -3,7 +3,8 @@
     When a check fails, the paper's runtime panics the kernel.  The
     simulation raises [Violation] instead, which the test and exploit
     harnesses catch — a caught violation is the "LXFI prevented the
-    exploit" outcome of Figure 8. *)
+    exploit" outcome of Figure 8.  Under a quarantine-enabled config the
+    runtime additionally contains the fault: see {!Quarantine}. *)
 
 type kind =
   | Write_denied  (** store without a covering WRITE capability *)
@@ -13,6 +14,7 @@ type kind =
   | Annot_mismatch  (** function vs. slot-type annotation hash differs *)
   | Shadow_stack  (** return address or principal stack corrupted *)
   | Principal_denied  (** privileged principal operation without standing *)
+  | Watchdog_expired  (** module entry exceeded its fuel budget *)
 
 let kind_name = function
   | Write_denied -> "write-denied"
@@ -22,17 +24,36 @@ let kind_name = function
   | Annot_mismatch -> "annotation-mismatch"
   | Shadow_stack -> "shadow-stack"
   | Principal_denied -> "principal-denied"
+  | Watchdog_expired -> "watchdog-expired"
 
-type info = { v_kind : kind; v_module : string; v_detail : string }
+type info = {
+  v_kind : kind;
+  v_module : string;
+  v_principal : Principal.t option;  (** faulting principal, when known *)
+  v_where : string option;  (** fault location, e.g. ["entry@1234"] *)
+  v_detail : string;
+}
 
 exception Violation of info
 
-let raise_ ~kind ~module_ fmt =
+let origin ?principal ?where () =
+  let p = match principal with Some p -> " " ^ Principal.describe p | None -> "" in
+  let w = match where with Some w -> " at " ^ w | None -> "" in
+  p ^ w
+
+let raise_ ?principal ?where ~kind ~module_ fmt =
   Format.kasprintf
     (fun detail ->
-      Kernel_sim.Klog.warn "LXFI violation [%s] in %s: %s" (kind_name kind) module_ detail;
-      raise (Violation { v_kind = kind; v_module = module_; v_detail = detail }))
+      Kernel_sim.Klog.warn "LXFI violation [%s] in %s%s: %s" (kind_name kind) module_
+        (origin ?principal ?where ())
+        detail;
+      raise
+        (Violation
+           { v_kind = kind; v_module = module_; v_principal = principal;
+             v_where = where; v_detail = detail }))
     fmt
 
 let pp ppf i =
-  Fmt.pf ppf "LXFI violation [%s] in module %s: %s" (kind_name i.v_kind) i.v_module i.v_detail
+  Fmt.pf ppf "LXFI violation [%s] in module %s%s: %s" (kind_name i.v_kind) i.v_module
+    (origin ?principal:i.v_principal ?where:i.v_where ())
+    i.v_detail

@@ -1,6 +1,8 @@
 (** API-integrity violations.  Where the paper's runtime panics the
     kernel, the simulation raises {!Violation}; a caught violation is
-    the "LXFI prevented the exploit" outcome of Figure 8. *)
+    the "LXFI prevented the exploit" outcome of Figure 8.  Under a
+    quarantine-enabled config the runtime additionally contains the
+    fault: see {!Quarantine}. *)
 
 type kind =
   | Write_denied  (** store without a covering WRITE capability *)
@@ -10,15 +12,29 @@ type kind =
   | Annot_mismatch  (** function vs. slot-type annotation hash differs *)
   | Shadow_stack  (** return address or principal stack corrupted *)
   | Principal_denied  (** privileged principal operation without standing *)
+  | Watchdog_expired  (** module entry exceeded its fuel budget *)
 
 val kind_name : kind -> string
 
-type info = { v_kind : kind; v_module : string; v_detail : string }
+type info = {
+  v_kind : kind;
+  v_module : string;
+  v_principal : Principal.t option;  (** faulting principal, when known *)
+  v_where : string option;  (** fault location, e.g. ["entry@1234"] *)
+  v_detail : string;
+}
 
 exception Violation of info
 
 val raise_ :
-  kind:kind -> module_:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
-(** [raise_ ~kind ~module_ fmt ...] logs and raises {!Violation}. *)
+  ?principal:Principal.t ->
+  ?where:string ->
+  kind:kind ->
+  module_:string ->
+  ('a, Format.formatter, unit, 'b) format4 ->
+  'a
+(** [raise_ ~kind ~module_ fmt ...] logs and raises {!Violation}.
+    [?principal]/[?where] attribute the fault to an exact instance and
+    instruction location when the raiser knows them. *)
 
 val pp : Format.formatter -> info -> unit

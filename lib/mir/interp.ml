@@ -42,9 +42,19 @@ type ctx = {
   mutable stack_ptr : int;
   mutable fuel : int;
   mutable steps : int;
+  mutable watchdog : bool;
+      (** when set, fuel exhaustion raises [Fuel_exhausted] for the
+          runtime to convert into a watchdog violation; otherwise it is
+          a plain soft-lockup oops *)
+  mutable cur_fn : string;  (** innermost executing function, for fault reports *)
 }
 
 exception Return_value of int64
+
+exception Fuel_exhausted of string
+(** Raised (module name) instead of [Kstate.Oops] when [watchdog] is
+    set: the enclosing kernel→module wrapper owns the budget and turns
+    exhaustion into a graceful quarantine instead of a crash. *)
 
 let default_fuel = 50_000_000
 
@@ -67,6 +77,8 @@ let create ~kst ~prog ~global_addr ~func_addr ~ext_addr ~call_ext ~guard_write
     stack_ptr = stack_base;
     fuel = default_fuel;
     steps = 0;
+    watchdog = false;
+    cur_fn = "";
   }
 
 let tick ctx =
@@ -74,7 +86,8 @@ let tick ctx =
   Kcycles.charge ctx.kst.Kstate.cycles Kcycles.Module 1;
   ctx.fuel <- ctx.fuel - 1;
   if ctx.fuel <= 0 then
-    raise (Kstate.Oops (Printf.sprintf "soft lockup in module %s" ctx.prog.pname))
+    if ctx.watchdog then raise (Fuel_exhausted ctx.prog.pname)
+    else raise (Kstate.Oops (Printf.sprintf "soft lockup in module %s" ctx.prog.pname))
 
 let truncate w v =
   match w with
@@ -163,12 +176,17 @@ and invoke ctx fname vargs =
       let frame = { vars = Hashtbl.create 8; saved_sp = ctx.stack_ptr } in
       List.iter2 (fun p a -> Hashtbl.replace frame.vars p a) f.params vargs;
       if ctx.hooks_enabled then ctx.on_entry fname;
+      let prev_fn = ctx.cur_fn in
+      ctx.cur_fn <- fname;
       let result =
-        try
-          exec_stmts ctx frame f.body;
-          0L
-        with Return_value v -> v
+        match exec_stmts ctx frame f.body with
+        | () -> 0L
+        | exception Return_value v -> v
+        | exception e ->
+            ctx.cur_fn <- prev_fn;
+            raise e
       in
+      ctx.cur_fn <- prev_fn;
       ctx.stack_ptr <- frame.saved_sp;
       if ctx.hooks_enabled then ctx.on_exit fname;
       result

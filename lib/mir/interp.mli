@@ -26,9 +26,19 @@ type ctx = {
   mutable stack_ptr : int;
   mutable fuel : int;  (** runaway-loop budget; exhaustion is an Oops *)
   mutable steps : int;
+  mutable watchdog : bool;
+      (** raise {!Fuel_exhausted} instead of an Oops on exhaustion (set
+          by the LXFI runtime when an entry watchdog budget is active) *)
+  mutable cur_fn : string;
+      (** innermost executing function ("" outside any activation);
+          violation reports use it as the fault location *)
 }
 
 exception Return_value of int64
+
+exception Fuel_exhausted of string
+(** Fuel ran out under [watchdog] mode; carries the module name.  The
+    kernel→module wrapper converts this into a watchdog violation. *)
 
 val default_fuel : int
 

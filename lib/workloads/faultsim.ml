@@ -1,0 +1,381 @@
+(** Deterministic fault-injection campaigns against the quarantine
+    policy (`lxfi_sim faultsim`).
+
+    Every cell of the campaign boots a fresh quarantine-enabled system
+    ([Config.lxfi_quarantine]), installs one real workload module as the
+    {e bystander} (e1000 under netperf-style traffic, or can / rds
+    socket traffic) plus a purpose-built faulty module [fsim] as the
+    {e target}, then injects one class of fault into the target while
+    driving it through the same kernel→module dispatch path a real
+    entry uses:
+
+    - {b alloc-fail}: {!Kernel_sim.Finject} makes the target's [N]th
+      [kmalloc] return NULL; [fsim] stores through the unchecked result,
+      which the store guard denies (no capability covers NULL);
+    - {b drop-grant}: the [N]th wrapper capability grant is silently
+      dropped, so the target's store into its own argument buffer is
+      denied;
+    - {b corrupt-slot}: the [N]th round scribbles a wild address into
+      the module-writable function-pointer slot the kernel calls
+      through; the writer-set check denies the call at kernel level
+      (contained by {!Lxfi.Quarantine.protect});
+    - {b watchdog}: round [N] enters an infinite loop, which the
+      per-entry fuel budget turns into a [Watchdog_expired] violation.
+
+    After the injection the driver keeps invoking the target, so the
+    escalation path (repeat offender → whole-module retirement) is
+    exercised in the same cell.  Every cell then asserts the invariants
+    [test_failure.ml] pins: shadow stack balanced, kernel principal
+    restored, quarantined principals hold zero capabilities, no foreign
+    principal holds CALL for the target's text, and the bystander still
+    serves traffic.  All randomness (injection points, wild addresses)
+    derives from the campaign seed, so the report is identical across
+    runs. *)
+
+open Kernel_sim
+open Kmodules
+open Mir.Builder
+
+type fault_class = Alloc_fail | Drop_grant | Corrupt_slot | Watchdog
+
+let classes = [ Alloc_fail; Drop_grant; Corrupt_slot; Watchdog ]
+
+let class_name = function
+  | Alloc_fail -> "alloc-fail"
+  | Drop_grant -> "drop-grant"
+  | Corrupt_slot -> "corrupt-slot"
+  | Watchdog -> "watchdog"
+
+type row = {
+  fs_class : string;
+  fs_workload : string;
+  fs_plan : string;  (** "nth=3" or "p=0.25" *)
+  fs_fired : int;  (** faults actually injected *)
+  fs_quarantines : int;
+  fs_escalations : int;
+  fs_efaults : int;  (** contained entries (-EFAULT to the caller) *)
+  fs_bystander_ok : bool;
+  fs_invariants_ok : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The target: a module with one bug per fault class.                  *)
+
+let alloc_slot = "fsim.alloc"
+let fill_slot = "fsim.fill"
+let spin_slot = "fsim.spin"
+let ok_slot = "fsim.ok"
+
+(* [alloc_op] omits the NULL check every correct module carries (cf.
+   econet's sendmsg) — the classic error-path bug alloc-fail hunts. *)
+let fsim_prog =
+  prog "fsim" ~imports:[ "kmalloc"; "kfree" ]
+    ~globals:[ global "g" 64; global "ops" 8 ~init:[ init_func 0 "ok" ] ]
+    ~funcs:
+      [
+        func "module_init" [] [ ret0 ];
+        func "alloc_op" [ "n" ]
+          [
+            let_ "p" (call_ext "kmalloc" [ ii 96 ]);
+            store64 (v "p") (v "n");
+            expr (call_ext "kfree" [ v "p" ]);
+            ret0;
+          ]
+          ~export:alloc_slot;
+        func "fill_op" [ "buf"; "n" ]
+          [ store64 (v "buf") (v "n"); ret (load64 (v "buf")) ]
+          ~export:fill_slot;
+        func "spin_op" [ "n" ] [ while_ (ii 1) []; ret0 ] ~export:spin_slot;
+        func "ok" [ "n" ]
+          [ store64 (glob "g") (v "n"); ret (load64 (glob "g")) ]
+          ~export:ok_slot;
+      ]
+
+let define_slots (sys : Ksys.t) =
+  let d name params annot =
+    ignore (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name ~params ~annot)
+  in
+  d alloc_slot [ "n" ] "";
+  d fill_slot [ "buf"; "n" ] "pre(copy(write, buf, sizeof(struct socket)))";
+  d spin_slot [ "n" ] "";
+  d ok_slot [ "n" ] ""
+
+(* ------------------------------------------------------------------ *)
+(* Bystander workloads: setup returns a [serve] probe whose value must
+   be unchanged after the campaign cell's faults. *)
+
+let wl_netperf (sys : Ksys.t) =
+  let pcidev, nic = Ksys.add_nic sys ~vendor:E1000.vendor ~device:E1000.device in
+  let _ = Mod_common.install sys E1000.spec in
+  let dev = Pci.pci_get_drvdata sys.Ksys.pci pcidev in
+  fun () ->
+    let skb = Skbuff.alloc sys.Ksys.kst 64 in
+    Skbuff.set_dev sys.Ksys.kst skb dev;
+    let r = Netdev.dev_queue_xmit sys.Ksys.net skb in
+    ignore (Nic.drain_tx nic);
+    r
+
+let wl_can (sys : Ksys.t) =
+  let _ = Mod_common.install sys Can.spec in
+  let fd = Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_can ~typ:3 in
+  ignore (Sockets.sys_bind sys.Ksys.sock ~fd ~addr:0 ~alen:0);
+  let u = Kstate.user_alloc sys.Ksys.kst 16 in
+  fun () -> Sockets.sys_sendmsg sys.Ksys.sock ~fd ~buf:u ~len:16 ~flags:0
+
+let wl_rds (sys : Ksys.t) =
+  let _ = Mod_common.install sys Rds.spec in
+  let fd = Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_rds ~typ:2 in
+  let u = Kstate.user_alloc sys.Ksys.kst 64 in
+  fun () -> Sockets.sys_sendmsg sys.Ksys.sock ~fd ~buf:u ~len:32 ~flags:0
+
+let workloads = [ ("netperf", wl_netperf); ("can", wl_can); ("rds", wl_rds) ]
+let workload_names = List.map fst workloads
+
+(* ------------------------------------------------------------------ *)
+(* One campaign cell.                                                  *)
+
+let rounds = 10
+
+let plan_label = function
+  | Finject.Nth n -> Printf.sprintf "nth=%d" n
+  | Finject.Prob p -> Printf.sprintf "p=%.2f" p
+
+(** [run_cell ~seed fclass ~workload ~plan] boots a fresh system, runs
+    one injection cell and returns its report row plus any invariant
+    breaches (empty = all held). *)
+let run_cell ~seed fclass ~workload ~plan =
+  let setup =
+    match List.assoc_opt workload workloads with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "faultsim: unknown workload %s" workload)
+  in
+  let sys = Ksys.boot Lxfi.Config.lxfi_quarantine in
+  let rt = sys.Ksys.rt and kst = sys.Ksys.kst in
+  define_slots sys;
+  let serve = setup sys in
+  let mi = fst (Ksys.load sys fsim_prog) in
+  let baseline = serve () in
+  let q0 = rt.Lxfi.Runtime.stats.Lxfi.Stats.quarantines in
+  let e0 = rt.Lxfi.Runtime.stats.Lxfi.Stats.escalations in
+  let fi = Finject.create ~seed in
+  let efaults = ref 0 in
+  let dispatch fname args =
+    let r = Lxfi.Quarantine.dispatch rt mi fname args in
+    if Int64.equal r Lxfi.Quarantine.efault then incr efaults;
+    r
+  in
+  let fired = ref 0 in
+  (match fclass with
+  | Alloc_fail ->
+      Finject.arm fi Finject.Alloc_fail plan;
+      Kstate.arm_finject kst fi;
+      for i = 1 to rounds do
+        ignore (dispatch "alloc_op" [ Int64.of_int i ])
+      done;
+      Kstate.disarm_finject kst;
+      fired := Finject.fired fi Finject.Alloc_fail
+  | Drop_grant ->
+      Finject.arm fi Finject.Drop_grant plan;
+      Kstate.arm_finject kst fi;
+      for i = 1 to rounds do
+        (* A fresh buffer per round, so each round's wrapper grant is
+           the only thing standing between the module and a denial —
+           a copied capability from an earlier round would mask the
+           drop otherwise. *)
+        let buf = Slab.kmalloc kst.Kstate.slab (Ksys.sizeof sys "socket") in
+        ignore (dispatch "fill_op" [ Int64.of_int buf; Int64.of_int i ])
+      done;
+      Kstate.disarm_finject kst;
+      fired := Finject.fired fi Finject.Drop_grant
+  | Corrupt_slot ->
+      Finject.arm fi Finject.Corrupt_slot plan;
+      let slot = Mod_common.gaddr mi "ops" in
+      let mem = Ksys.mem sys in
+      let good = Kmem.read_ptr mem slot in
+      for i = 1 to rounds do
+        (* The injection models the module scribbling on its own slot —
+           something a quarantined module (capabilities revoked) can no
+           longer do, so the injector only fires while it holds them. *)
+        if
+          mi.Lxfi.Runtime.mi_shared.Lxfi.Principal.quarantined = None
+          && Finject.fires fi Finject.Corrupt_slot
+        then Kmem.write_ptr mem slot (Finject.garbage_addr fi);
+        match
+          Lxfi.Quarantine.protect rt (fun () ->
+              Lxfi.Runtime.kernel_indirect_call rt ~slot ~ftype:ok_slot
+                [ Int64.of_int i ])
+        with
+        | Ok r -> if Int64.equal r Lxfi.Quarantine.efault then incr efaults
+        | Error _ ->
+            incr efaults;
+            (* The kernel notices the -EFAULT and re-initialises its
+               pointer; later calls then hit the quarantined / retired
+               module and stay contained. *)
+            Kmem.write_ptr mem slot good
+      done;
+      fired := Finject.fired fi Finject.Corrupt_slot
+  | Watchdog ->
+      let at = match plan with Finject.Nth n -> n | Finject.Prob _ -> 1 in
+      for i = 1 to rounds do
+        if i = at then ignore (dispatch "spin_op" [ 0L ])
+        else ignore (dispatch "ok" [ Int64.of_int i ])
+      done;
+      fired := rt.Lxfi.Runtime.stats.Lxfi.Stats.watchdog_expiries);
+  (* Post-fault probes: keep knocking so repeat-offender escalation has
+     a chance to trigger inside the same cell. *)
+  for i = 1 to 3 do
+    ignore (dispatch "ok" [ Int64.of_int i ])
+  done;
+  (* ---- invariants ---- *)
+  let breaches = ref [] in
+  let breach fmt =
+    Printf.ksprintf
+      (fun s ->
+        breaches :=
+          Printf.sprintf "%s/%s/%s: %s" (class_name fclass) workload (plan_label plan) s
+          :: !breaches)
+      fmt
+  in
+  let depth = Lxfi.Shadow_stack.depth rt.Lxfi.Runtime.sstack in
+  if depth <> 0 then breach "shadow stack depth %d after campaign" depth;
+  (match rt.Lxfi.Runtime.current with
+  | None -> ()
+  | Some p -> breach "current principal is %s, not kernel" (Lxfi.Principal.describe p));
+  List.iter
+    (fun (p : Lxfi.Principal.t) ->
+      let caps =
+        Lxfi.Captable.write_count p.Lxfi.Principal.caps
+        + Lxfi.Captable.call_count p.Lxfi.Principal.caps
+        + Lxfi.Captable.ref_count p.Lxfi.Principal.caps
+      in
+      if p.Lxfi.Principal.quarantined <> None && caps <> 0 then
+        breach "quarantined %s still holds %d capabilities"
+          (Lxfi.Principal.describe p) caps;
+      if p.Lxfi.Principal.owner <> "fsim" then
+        Hashtbl.iter
+          (fun fname addr ->
+            if Lxfi.Captable.has_call p.Lxfi.Principal.caps ~target:addr then
+              breach "capability leak: %s holds CALL for fsim.%s"
+                (Lxfi.Principal.describe p) fname)
+          mi.Lxfi.Runtime.mi_func_addr)
+    (Lxfi.Runtime.all_principals rt);
+  let after = serve () in
+  let bystander_ok = Int64.equal after baseline in
+  if not bystander_ok then
+    breach "bystander %s stopped serving (%Ld, was %Ld)" workload after baseline;
+  let quarantines = rt.Lxfi.Runtime.stats.Lxfi.Stats.quarantines - q0 in
+  let escalations = rt.Lxfi.Runtime.stats.Lxfi.Stats.escalations - e0 in
+  if !fired > 0 && quarantines = 0 then
+    breach "%d faults injected but nothing was quarantined" !fired;
+  ( {
+      fs_class = class_name fclass;
+      fs_workload = workload;
+      fs_plan = plan_label plan;
+      fs_fired = !fired;
+      fs_quarantines = quarantines;
+      fs_escalations = escalations;
+      fs_efaults = !efaults;
+      fs_bystander_ok = bystander_ok;
+      fs_invariants_ok = !breaches = [];
+    },
+    List.rev !breaches )
+
+(* ------------------------------------------------------------------ *)
+(* The full campaign.                                                  *)
+
+(** [run ~seed] sweeps every fault class over every workload at
+    seed-derived injection points; returns the rows plus every
+    invariant breach (an empty list is the pass criterion). *)
+let run ~seed =
+  let rng = Finject.create ~seed in
+  (* Two deterministic single-shot points inside the drive window plus
+     one probabilistic plan per finject-driven class. *)
+  let points =
+    [
+      Finject.Nth (2 + Finject.pick rng 3);
+      Finject.Nth (6 + Finject.pick rng 3);
+      Finject.Prob 0.25;
+    ]
+  in
+  let cells =
+    List.concat_map
+      (fun fclass ->
+        let plans =
+          match fclass with
+          | Watchdog -> [ Finject.Nth (1 + Finject.pick rng rounds) ]
+          | Alloc_fail | Drop_grant | Corrupt_slot -> points
+        in
+        List.concat_map
+          (fun workload -> List.map (fun plan -> (fclass, workload, plan)) plans)
+          workload_names)
+      classes
+  in
+  let idx = ref 0 in
+  let results =
+    List.map
+      (fun (fclass, workload, plan) ->
+        incr idx;
+        run_cell ~seed:(seed + (7919 * !idx)) fclass ~workload ~plan)
+      cells
+  in
+  let rows = List.map fst results in
+  let breaches = List.concat_map snd results in
+  (* Campaign-level acceptance: at least one quarantine per fault
+     class (the deterministic Nth cells guarantee it). *)
+  let class_breaches =
+    List.filter_map
+      (fun fclass ->
+        let name = class_name fclass in
+        let total =
+          List.fold_left
+            (fun acc r -> if r.fs_class = name then acc + r.fs_quarantines else acc)
+            0 rows
+        in
+        if total = 0 then Some (Printf.sprintf "%s: no quarantine in any cell" name)
+        else None)
+      classes
+  in
+  let rows =
+    List.sort
+      (fun a b ->
+        compare
+          (a.fs_class, a.fs_workload, a.fs_plan)
+          (b.fs_class, b.fs_workload, b.fs_plan))
+      rows
+  in
+  (rows, breaches @ class_breaches)
+
+(** [print ~seed] runs the campaign and prints the report; returns 0
+    when every invariant held, 1 otherwise. *)
+let print ~seed =
+  let rows, breaches = run ~seed in
+  Report.table
+    ~title:(Printf.sprintf "Fault-injection campaign (seed %d)" seed)
+    ~header:
+      [
+        "fault"; "workload"; "plan"; "fired"; "quar"; "escal"; "efault"; "bystander";
+        "invariants";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.fs_class;
+           r.fs_workload;
+           r.fs_plan;
+           Report.int_ r.fs_fired;
+           Report.int_ r.fs_quarantines;
+           Report.int_ r.fs_escalations;
+           Report.int_ r.fs_efaults;
+           (if r.fs_bystander_ok then "ok" else "FAIL");
+           (if r.fs_invariants_ok then "ok" else "BREACH");
+         ])
+       rows);
+  print_endline "";
+  (match breaches with
+  | [] ->
+      Printf.printf "%d cells, all invariants held (shadow stack, principal, caps, traffic)\n"
+        (List.length rows)
+  | bs ->
+      Printf.printf "%d invariant breaches:\n" (List.length bs);
+      List.iter (fun b -> Printf.printf "  %s\n" b) bs);
+  if breaches = [] then 0 else 1

@@ -140,6 +140,120 @@ let test_violating_module_does_not_poison_others () =
   Alcotest.(check int64) "e1000 unaffected" 0L (Netdev.dev_queue_xmit sys.Ksys.net skb);
   ignore (Nic.drain_tx nic)
 
+(* ---- quarantine mode: contain instead of propagate ---------------- *)
+
+let obj_slot = "bench.obj_entry"
+
+let qboot () =
+  let sys = Ksys.boot Lxfi.Config.lxfi_quarantine in
+  ignore
+    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:entry_slot
+       ~params:[ "n" ] ~annot:"");
+  ignore
+    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:obj_slot
+       ~params:[ "obj"; "n" ] ~annot:"principal(obj)");
+  sys
+
+(* an innocent module loaded next to crashy *)
+let buddy =
+  prog "buddy" ~imports:[] ~globals:[ global "g" 32 ]
+    ~funcs:
+      [
+        func "module_init" [] [ ret0 ];
+        func "entry" [ "n" ]
+          [ store64 (glob "g") (v "n"); ret (load64 (glob "g")) ]
+          ~export:entry_slot;
+      ]
+
+let qdispatch sys mi n =
+  Lxfi.Quarantine.dispatch sys.Ksys.rt mi "entry" [ Int64.of_int n ]
+
+let caps_held (p : Lxfi.Principal.t) =
+  Lxfi.Captable.write_count p.Lxfi.Principal.caps
+  + Lxfi.Captable.call_count p.Lxfi.Principal.caps
+  + Lxfi.Captable.ref_count p.Lxfi.Principal.caps
+
+let test_quarantine_contains_each_misbehaviour () =
+  List.iter
+    (fun (n, what) ->
+      let sys = qboot () in
+      let bad = load sys crashy in
+      let good = load sys buddy in
+      Alcotest.(check int64) (what ^ ": caller gets -EFAULT") (-14L) (qdispatch sys bad n);
+      consistent sys;
+      Alcotest.(check bool) (what ^ ": offender quarantined") true
+        (bad.Lxfi.Runtime.mi_shared.Lxfi.Principal.quarantined <> None);
+      Alcotest.(check int) (what ^ ": capabilities revoked") 0
+        (caps_held bad.Lxfi.Runtime.mi_shared);
+      Alcotest.(check int64) (what ^ ": sibling module unaffected") 5L
+        (qdispatch sys good 5);
+      (* further entries into the quarantined module are refused but
+         contained, never crash the kernel *)
+      Alcotest.(check int64) (what ^ ": later entry refused cleanly") (-14L)
+        (qdispatch sys bad 9);
+      consistent sys)
+    [
+      (1, "wild store");
+      (2, "NULL load");
+      (3, "division by zero");
+      (4, "infinite loop");
+      (5, "wild indirect call");
+    ]
+
+let test_watchdog_quarantines_infinite_loop () =
+  let sys = qboot () in
+  let bad = load sys crashy in
+  Alcotest.(check int64) "loop terminated and contained" (-14L) (qdispatch sys bad 4);
+  Alcotest.(check int) "watchdog expired exactly once" 1
+    sys.Ksys.rt.Lxfi.Runtime.stats.Lxfi.Stats.watchdog_expiries;
+  consistent sys
+
+let test_repeat_offender_escalates_to_retirement () =
+  let sys = qboot () in
+  let bad = load sys crashy in
+  ignore (qdispatch sys bad 1);
+  (* the quarantined principal keeps getting invoked: each refusal is a
+     violation too, and the third inside the window retires the module *)
+  ignore (qdispatch sys bad 6);
+  ignore (qdispatch sys bad 6);
+  Alcotest.(check bool) "module retired" true (bad.Lxfi.Runtime.mi_dead <> None);
+  Alcotest.(check bool) "escalation counted" true
+    (sys.Ksys.rt.Lxfi.Runtime.stats.Lxfi.Stats.escalations >= 1);
+  Alcotest.(check int) "module gone from the runtime" 0
+    (Hashtbl.length sys.Ksys.rt.Lxfi.Runtime.modules);
+  consistent sys
+
+(* an entry whose principal is named by its first argument, so two
+   kernel objects select two sibling instance principals *)
+let multi =
+  prog "multi" ~imports:[] ~globals:[ global "g" 32 ]
+    ~funcs:
+      [
+        func "module_init" [] [ ret0 ];
+        func "entry" [ "obj"; "n" ]
+          [
+            when_ (v "n" ==: ii 1) [ store64 (i 0x2_0BAD_0000L) (ii 1); ret0 ];
+            store64 (glob "g") (v "n");
+            ret (load64 (glob "g"));
+          ]
+          ~export:obj_slot;
+      ]
+
+let test_quarantine_spares_sibling_instance () =
+  let sys = qboot () in
+  let mi = load sys multi in
+  let d obj n =
+    Lxfi.Quarantine.dispatch sys.Ksys.rt mi "entry" [ Int64.of_int obj; Int64.of_int n ]
+  in
+  Alcotest.(check int64) "instance A works" 5L (d 0x9100 5);
+  Alcotest.(check int64) "instance A contained" (-14L) (d 0x9100 1);
+  consistent sys;
+  Alcotest.(check int64) "sibling instance B still serves" 7L (d 0x9200 7);
+  Alcotest.(check int64) "quarantined instance stays refused" (-14L) (d 0x9100 6);
+  Alcotest.(check int64) "sibling unaffected by the refusal" 8L (d 0x9200 8);
+  Alcotest.(check bool) "module itself still alive" true
+    (mi.Lxfi.Runtime.mi_dead = None)
+
 let test_oops_inside_syscall_inside_wrapper () =
   (* the econet pattern: module faults inside a socket op reached via
      kernel indirect call reached via syscall; everything unwinds *)
@@ -176,5 +290,16 @@ let () =
             test_violating_module_does_not_poison_others;
           Alcotest.test_case "oops in syscall in wrapper" `Quick
             test_oops_inside_syscall_inside_wrapper;
+        ] );
+      ( "quarantine",
+        [
+          Alcotest.test_case "each misbehaviour contained" `Quick
+            test_quarantine_contains_each_misbehaviour;
+          Alcotest.test_case "watchdog catches infinite loop" `Quick
+            test_watchdog_quarantines_infinite_loop;
+          Alcotest.test_case "repeat offender escalates" `Quick
+            test_repeat_offender_escalates_to_retirement;
+          Alcotest.test_case "sibling instance spared" `Quick
+            test_quarantine_spares_sibling_instance;
         ] );
     ]

@@ -357,6 +357,40 @@ let prop_truncation =
       && Int64.equal (Mir.Interp.truncate Mir.Ast.W8 v) (Int64.logand v 0xffL)
       && Int64.equal (Mir.Interp.truncate Mir.Ast.W64 v) v)
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection: any seed / fault class / workload / injection       *)
+(* point leaves the containment invariants intact (shadow stack,        *)
+(* kernel principal, revoked capabilities, surviving bystander).        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_faultsim_invariants =
+  QCheck.Test.make ~count:24
+    ~name:"fault injection preserves containment invariants"
+    (QCheck.make
+       ~print:(fun (seed, c, w, k) ->
+         Printf.sprintf "seed=%d class=%s workload=%s nth=%d" seed
+           (Workloads.Faultsim.class_name (List.nth Workloads.Faultsim.classes c))
+           (List.nth Workloads.Faultsim.workload_names w)
+           k)
+       QCheck.Gen.(
+         quad (int_bound 100_000)
+           (int_bound (List.length Workloads.Faultsim.classes - 1))
+           (int_bound (List.length Workloads.Faultsim.workload_names - 1))
+           (map (fun k -> 1 + k) (int_bound 9))))
+    (fun (seed, c, w, k) ->
+      let fclass = List.nth Workloads.Faultsim.classes c in
+      let workload = List.nth Workloads.Faultsim.workload_names w in
+      let _row, breaches =
+        Workloads.Faultsim.run_cell ~seed fclass ~workload
+          ~plan:(Kernel_sim.Finject.Nth k)
+      in
+      breaches = [])
+
+let prop_faultsim_deterministic =
+  QCheck.Test.make ~count:3 ~name:"faultsim report is a pure function of the seed"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1000))
+    (fun seed -> Workloads.Faultsim.run ~seed = Workloads.Faultsim.run ~seed)
+
 let () =
   Kernel_sim.Klog.quiet ();
   Alcotest.run "properties"
@@ -373,5 +407,7 @@ let () =
             prop_revoke_leaves_no_copies;
             prop_interp_arithmetic;
             prop_truncation;
+            prop_faultsim_invariants;
+            prop_faultsim_deterministic;
           ] );
     ]

@@ -45,6 +45,33 @@ let test_dangling_pointer_after_buggy_unload () =
   | fd -> Alcotest.failf "expected an oops, got fd %d" fd);
   ()
 
+let test_dangling_pointer_quarantined () =
+  (* same hazard under a quarantine config: the retired-address call is
+     a contained violation attributed to the unloaded module, not an
+     oops — and the kernel keeps running *)
+  let sys = Ksys.boot Lxfi.Config.lxfi_quarantine in
+  let h = Mod_common.install sys Can.spec in
+  let mi = h.Mod_common.mi in
+  Lxfi.Loader.unload sys.Ksys.rt mi;
+  let npf = Mod_common.gaddr mi "can_npf" in
+  ignore (Sockets.sock_register sys.Ksys.sock npf);
+  (match
+     Lxfi.Quarantine.protect sys.Ksys.rt (fun () ->
+         Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_can ~typ:3)
+   with
+  | Ok fd -> Alcotest.failf "expected containment, got fd %d" fd
+  | Error v ->
+      Alcotest.(check string) "denied as a call violation" "call-denied"
+        (Lxfi.Violation.kind_name v.Lxfi.Violation.v_kind));
+  Alcotest.(check int) "shadow stack balanced" 0
+    (Lxfi.Shadow_stack.depth sys.Ksys.rt.Lxfi.Runtime.sstack);
+  Alcotest.(check bool) "kernel context restored" true
+    (sys.Ksys.rt.Lxfi.Runtime.current = None);
+  (* unrelated work still flows *)
+  let _h2 = Mod_common.install sys Rds.spec in
+  let fd = Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_rds ~typ:2 in
+  Alcotest.(check bool) "other modules still serve" true (fd >= 3)
+
 let test_unload_twice_fails () =
   let sys = Ksys.boot Lxfi.Config.lxfi in
   let h = Mod_common.install sys Dm_zero.spec in
@@ -75,6 +102,8 @@ let () =
           Alcotest.test_case "reload after unload" `Quick test_reload_after_unload;
           Alcotest.test_case "dangling pointers oops" `Quick
             test_dangling_pointer_after_buggy_unload;
+          Alcotest.test_case "dangling pointers quarantined" `Quick
+            test_dangling_pointer_quarantined;
           Alcotest.test_case "double unload fails" `Quick test_unload_twice_fails;
           Alcotest.test_case "other modules preserved" `Quick
             test_unload_preserves_other_modules;
