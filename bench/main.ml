@@ -5,17 +5,49 @@
      dune exec bench/main.exe -- fig12   -- one section
 
    Sections: fig7 fig8 fig9 fig10 fig11 fig12 fig13 guards ablation
-   captable rewrite overheads faultsim.
+   captable rewrite overheads faultsim; "netperf" is an alias for
+   fig12+fig13.
    Paper reference values are printed alongside; EXPERIMENTS.md records
-   the comparison run-by-run. *)
+   the comparison run-by-run.
+
+   Flags:
+     --json              also write BENCH_<section>.json per section
+                         (wall-clock seconds + the section's data,
+                         including simulated cycles and guard counters
+                         where the section measures them)
+     --check FILE        enforcement-neutrality check: recompute the
+                         deterministic guard counters (fig13 + faultsim)
+                         and compare byte-for-byte against FILE; exit 1
+                         on mismatch.  Runs instead of the sections.
+     --write-ref FILE    regenerate FILE for --check *)
 
 open Kmodules
 open Workloads
 module R = Report
 
-let section_wanted =
-  let args = Array.to_list Sys.argv |> List.tl in
-  fun name -> args = [] || List.mem name args
+let json_mode = ref false
+let check_file = ref None
+let write_ref_file = ref None
+
+let cli_sections =
+  let rec strip = function
+    | [] -> []
+    | "--json" :: rest ->
+        json_mode := true;
+        strip rest
+    | "--check" :: file :: rest ->
+        check_file := Some file;
+        strip rest
+    | "--write-ref" :: file :: rest ->
+        write_ref_file := Some file;
+        strip rest
+    | arg :: rest -> arg :: strip rest
+  in
+  let named = strip (Array.to_list Sys.argv |> List.tl) in
+  (* "netperf" = the end-to-end netperf pipeline, fig12 + fig13 *)
+  List.concat_map (function "netperf" -> [ "fig12"; "fig13" ] | s -> [ s ]) named
+
+let section_wanted name = cli_sections = [] || List.mem name cli_sections
 
 (* ------------------------------------------------------------------ *)
 (* Figure 7: components and lines of code.                             *)
@@ -203,6 +235,7 @@ let fmt_rate unit_ v =
   else Printf.sprintf "%.1fK %s" (v /. 1e3) unit_
 
 let fig12 () =
+  let data = Netperf_sim.figure12 () in
   let rows =
     List.map
       (fun (r : Netperf_sim.row) ->
@@ -221,11 +254,25 @@ let fig12 () =
           R.pct r.Netperf_sim.r_lxfi_cpu;
           Printf.sprintf "[paper: %s / %s; cpu %s / %s]" ps pl pcs pcl;
         ])
-      (Netperf_sim.figure12 ())
+      data
   in
   R.table ~title:"Figure 12: netperf with stock and LXFI-isolated e1000"
     ~header:[ "Test"; "stock"; "LXFI"; "cpu"; "cpu(LXFI)"; "paper" ]
-    rows
+    rows;
+  Some
+    (Bench_json.List
+       (List.map
+          (fun (r : Netperf_sim.row) ->
+            Bench_json.Obj
+              [
+                ("test", Bench_json.Str r.Netperf_sim.r_test);
+                ("unit", Bench_json.Str r.Netperf_sim.r_unit);
+                ("stock", Bench_json.Float r.Netperf_sim.r_stock);
+                ("lxfi", Bench_json.Float r.Netperf_sim.r_lxfi);
+                ("stock_cpu", Bench_json.Float r.Netperf_sim.r_stock_cpu);
+                ("lxfi_cpu", Bench_json.Float r.Netperf_sim.r_lxfi_cpu);
+              ])
+          data))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 13 + guard primitive timing (bechamel).                      *)
@@ -314,7 +361,8 @@ let fig13 () =
         [
           g.Netperf_sim.g_type;
           Printf.sprintf "%.1f" g.Netperf_sim.g_per_packet;
-          Printf.sprintf "%.1f" g.Netperf_sim.g_paper_per_packet;
+          (if Float.is_nan g.Netperf_sim.g_paper_per_packet then "-"
+           else Printf.sprintf "%.1f" g.Netperf_sim.g_paper_per_packet);
         ])
       guards
   in
@@ -325,20 +373,40 @@ let fig13 () =
           cycles/pkt, of which %.0f guard cycles)"
          m.Netperf_sim.m_cycles_per_unit m.Netperf_sim.m_guard_cycles_per_unit)
     ~header:[ "Guard type"; "per packet"; "paper" ]
-    rows
+    rows;
+  Some
+    (Bench_json.Obj
+       [
+         ( "guards_per_packet",
+           Bench_json.List
+             (List.map
+                (fun (g : Netperf_sim.guard_row) ->
+                  Bench_json.Obj
+                    [
+                      ("type", Bench_json.Str g.Netperf_sim.g_type);
+                      ("per_packet", Bench_json.Float g.Netperf_sim.g_per_packet);
+                      ("paper", Bench_json.Float g.Netperf_sim.g_paper_per_packet);
+                    ])
+                guards) );
+         ("measure", Bench_json.of_measure m);
+       ])
 
 let guards_section () =
-  let rows =
-    List.map
-      (fun (name, ns) -> [ name; Printf.sprintf "%.0f ns" ns ])
-      (guard_primitive_timings ())
-  in
+  let timings = guard_primitive_timings () in
+  let rows = List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f ns" ns ]) timings in
   R.table
     ~title:
       "Guard primitives measured on this host with bechamel (the paper's \
        'time per guard' column measured 14-124 ns on an i3-550)"
     ~header:[ "Primitive"; "ns/op" ]
-    rows
+    rows;
+  Some
+    (Bench_json.List
+       (List.map
+          (fun (name, ns) ->
+            Bench_json.Obj
+              [ ("primitive", Bench_json.Str name); ("host_ns", Bench_json.Float ns) ])
+          timings))
 
 (* ------------------------------------------------------------------ *)
 (* Ablations.                                                          *)
@@ -448,12 +516,21 @@ let captable_ablation () =
       [ "page-masked hash table"; Printf.sprintf "%.0f" hashed_ns; Printf.sprintf "%.1f ns" (hashed_ns /. 64.) ];
       [ "linear interval list"; Printf.sprintf "%.0f" linear_ns; Printf.sprintf "%.1f ns" (linear_ns /. 64.) ];
       [ "speedup"; Printf.sprintf "%.1fx" (linear_ns /. Float.max 1. hashed_ns); "" ];
-    ]
+    ];
+  Some
+    (Bench_json.Obj
+       [
+         ("live_ranges", Bench_json.Int n);
+         ("probes_per_op", Bench_json.Int 64);
+         ("hashed_host_ns", Bench_json.Float hashed_ns);
+         ("linear_host_ns", Bench_json.Float linear_ns);
+       ])
 
 (* Extension: per-module isolation overhead — the paper benchmarks
    only e1000; this table gives one representative workload per module
    family. *)
 let module_overheads () =
+  let data = Module_bench.table () in
   let rows =
     List.map
       (fun (r : Module_bench.row) ->
@@ -464,40 +541,172 @@ let module_overheads () =
           Printf.sprintf "%.0f" r.Module_bench.mb_lxfi_cycles;
           R.pct1 r.Module_bench.mb_overhead;
         ])
-      (Module_bench.table ())
+      data
   in
   R.table
     ~title:
       "Extension: per-module isolation overhead (simulated cycles per        operation; the paper measures only e1000)"
     ~header:[ "Module"; "Operation"; "stock"; "LXFI"; "overhead" ]
-    rows
+    rows;
+  Some
+    (Bench_json.List
+       (List.map
+          (fun (r : Module_bench.row) ->
+            Bench_json.Obj
+              [
+                ("module", Bench_json.Str r.Module_bench.mb_module);
+                ("op", Bench_json.Str r.Module_bench.mb_op);
+                ("stock_cycles", Bench_json.Float r.Module_bench.mb_stock_cycles);
+                ("lxfi_cycles", Bench_json.Float r.Module_bench.mb_lxfi_cycles);
+                ("overhead", Bench_json.Float r.Module_bench.mb_overhead);
+              ])
+          data))
 
 (* Robustness: the deterministic fault-injection campaign against the
    quarantine policy (see lib/workloads/faultsim.ml and EXPERIMENTS.md,
    "faultsim").  Seed fixed so the bench output is reproducible. *)
+let faultsim_json rows breaches =
+  Bench_json.Obj
+    [
+      ("cells", Bench_json.Int (List.length rows));
+      ("breaches", Bench_json.Int (List.length breaches));
+      ("all_invariants_held", Bench_json.Bool (breaches = []));
+      ( "rows",
+        Bench_json.List
+          (List.map
+             (fun (r : Faultsim.row) ->
+               Bench_json.Obj
+                 [
+                   ("class", Bench_json.Str r.Faultsim.fs_class);
+                   ("workload", Bench_json.Str r.Faultsim.fs_workload);
+                   ("plan", Bench_json.Str r.Faultsim.fs_plan);
+                   ("fired", Bench_json.Int r.Faultsim.fs_fired);
+                   ("quarantines", Bench_json.Int r.Faultsim.fs_quarantines);
+                   ("escalations", Bench_json.Int r.Faultsim.fs_escalations);
+                   ("efaults", Bench_json.Int r.Faultsim.fs_efaults);
+                   ("bystander_ok", Bench_json.Bool r.Faultsim.fs_bystander_ok);
+                   ("invariants_ok", Bench_json.Bool r.Faultsim.fs_invariants_ok);
+                 ])
+             rows) );
+    ]
+
 let faultsim_section () =
-  ignore (Faultsim.print ~seed:42 : int)
+  ignore (Faultsim.print ~seed:42 : int);
+  if !json_mode then begin
+    let rows, breaches = Faultsim.run ~seed:42 in
+    Some (faultsim_json rows breaches)
+  end
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Enforcement-neutrality reference.                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything in here is a deterministic function of the simulation
+   (guard counters, simulated cycles, faultsim outcomes — no host
+   timing), so the serialized form must be byte-identical run to run
+   and commit to commit unless enforcement semantics actually change.
+   CI regenerates it and compares against the committed copy. *)
+let enforcement_reference () =
+  let guards, m = Netperf_sim.figure13 () in
+  let rows, breaches = Faultsim.run ~seed:42 in
+  Bench_json.Obj
+    [
+      ( "fig13",
+        Bench_json.Obj
+          [
+            ( "guards_per_packet",
+              Bench_json.List
+                (List.map
+                   (fun (g : Netperf_sim.guard_row) ->
+                     Bench_json.Obj
+                       [
+                         ("type", Bench_json.Str g.Netperf_sim.g_type);
+                         ("per_packet", Bench_json.Float g.Netperf_sim.g_per_packet);
+                       ])
+                   guards) );
+            ("measure", Bench_json.of_measure m);
+          ] );
+      ("faultsim", faultsim_json rows breaches);
+    ]
+
+let reference_string () = Bench_json.to_string (enforcement_reference ()) ^ "\n"
+
+let check_reference file =
+  let expected =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let actual = reference_string () in
+  if String.equal actual expected then begin
+    Printf.printf "guard reference OK (%s)\n" file;
+    0
+  end
+  else begin
+    Printf.printf
+      "guard reference MISMATCH against %s — enforcement semantics changed.\n\
+       Recorded counters differ from this build's; if the change is intended,\n\
+       regenerate with: bench/main.exe --write-ref %s\n\
+       --- expected ---\n%s--- actual ---\n%s"
+      file file expected actual;
+    1
+  end
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   Kernel_sim.Klog.quiet ();
+  (match !write_ref_file with
+  | Some file ->
+      let oc = open_out_bin file in
+      output_string oc (reference_string ());
+      close_out oc;
+      Printf.printf "wrote %s\n" file;
+      exit 0
+  | None -> ());
+  (match !check_file with Some file -> exit (check_reference file) | None -> ());
+  let plain f () =
+    f ();
+    None
+  in
   let sections =
     [
-      ("fig7", fig7);
-      ("fig8", fig8);
-      ("fig9", fig9);
-      ("fig10", fig10);
-      ("fig11", fig11);
+      ("fig7", plain fig7);
+      ("fig8", plain fig8);
+      ("fig9", plain fig9);
+      ("fig10", plain fig10);
+      ("fig11", plain fig11);
       ("fig12", fig12);
       ("fig13", fig13);
       ("guards", guards_section);
-      ("ablation", ablation);
+      ("ablation", plain ablation);
       ("captable", captable_ablation);
-      ("rewrite", rewrite_table);
+      ("rewrite", plain rewrite_table);
       ("overheads", module_overheads);
       ("faultsim", faultsim_section);
     ]
   in
-  List.iter (fun (name, f) -> if section_wanted name then f ()) sections;
+  List.iter
+    (fun (name, f) ->
+      if section_wanted name then begin
+        let t0 = Unix.gettimeofday () in
+        let data = f () in
+        let wall = Unix.gettimeofday () -. t0 in
+        match data with
+        | Some d when !json_mode ->
+            let file = "BENCH_" ^ name ^ ".json" in
+            Bench_json.write_file file
+              (Bench_json.Obj
+                 [
+                   ("section", Bench_json.Str name);
+                   ("wall_seconds", Bench_json.Float wall);
+                   ("data", d);
+                 ]);
+            Printf.printf "[json] wrote %s\n" file
+        | _ -> ()
+      end)
+    sections;
   print_endline ""

@@ -61,24 +61,40 @@ type t = {
   mutable fault_on_unmapped : bool;
       (** when false (default), reads of unmapped pages yield zeroes and
           writes map the page on demand; tests can tighten this *)
+  mutable last_idx : int;  (** single-entry page-lookup cache (TLB of one) *)
+  mutable last_page : Bytes.t;
 }
 
 let create () =
-  { pages = Hashtbl.create 1024; mapped_pages = 0; fault_on_unmapped = false }
+  {
+    pages = Hashtbl.create 1024;
+    mapped_pages = 0;
+    fault_on_unmapped = false;
+    last_idx = -1;
+    last_page = Bytes.empty;
+  }
 
+(* Pages are never unmapped, so the cache needs no invalidation. *)
 let page_of t ~write addr =
   if Layout.is_null addr || addr < 0 then raise (Fault { addr; write });
   let idx = addr lsr page_shift in
-  match Hashtbl.find_opt t.pages idx with
-  | Some b -> b
-  | None ->
-      if t.fault_on_unmapped then raise (Fault { addr; write })
-      else begin
-        let b = Bytes.make page_size '\000' in
-        Hashtbl.replace t.pages idx b;
-        t.mapped_pages <- t.mapped_pages + 1;
+  if idx = t.last_idx then t.last_page
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some b ->
+        t.last_idx <- idx;
+        t.last_page <- b;
         b
-      end
+    | None ->
+        if t.fault_on_unmapped then raise (Fault { addr; write })
+        else begin
+          let b = Bytes.make page_size '\000' in
+          Hashtbl.replace t.pages idx b;
+          t.mapped_pages <- t.mapped_pages + 1;
+          t.last_idx <- idx;
+          t.last_page <- b;
+          b
+        end
 
 (** [map t ~addr ~len] eagerly maps (zero-filled) all pages covering
     [addr, addr+len). *)
@@ -100,23 +116,57 @@ let write_u8 t addr v =
   Bytes.set b (addr land page_mask) (Char.chr (v land 0xff))
 
 (** [read t ~addr ~size] reads a little-endian [size]-byte integer
-    ([size] in 1..8) and returns it as an [int64]. *)
+    ([size] in 1..8) and returns it as an [int64].  Power-of-two sizes
+    that stay within one page are single word accesses; everything else
+    falls back to the byte loop. *)
 let read t ~addr ~size =
   assert (size >= 1 && size <= 8);
-  let v = ref 0L in
-  for i = size - 1 downto 0 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_u8 t (addr + i)))
-  done;
-  !v
+  let off = addr land page_mask in
+  if off + size <= page_size then
+    let b = page_of t ~write:false addr in
+    match size with
+    | 1 -> Int64.of_int (Bytes.get_uint8 b off)
+    | 2 -> Int64.of_int (Bytes.get_uint16_le b off)
+    | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le b off)) 0xffff_ffffL
+    | 8 -> Bytes.get_int64_le b off
+    | _ ->
+        let v = ref 0L in
+        for i = size - 1 downto 0 do
+          v :=
+            Int64.logor (Int64.shift_left !v 8)
+              (Int64.of_int (Bytes.get_uint8 b (off + i)))
+        done;
+        !v
+  else begin
+    let v = ref 0L in
+    for i = size - 1 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_u8 t (addr + i)))
+    done;
+    !v
+  end
 
 (** [write t ~addr ~size v] stores the low [size] bytes of [v]
     little-endian at [addr]. *)
 let write t ~addr ~size v =
   assert (size >= 1 && size <= 8);
-  for i = 0 to size - 1 do
-    write_u8 t (addr + i)
-      (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
-  done
+  let off = addr land page_mask in
+  if off + size <= page_size then
+    let b = page_of t ~write:true addr in
+    match size with
+    | 1 -> Bytes.set_uint8 b off (Int64.to_int v land 0xff)
+    | 2 -> Bytes.set_uint16_le b off (Int64.to_int v land 0xffff)
+    | 4 -> Bytes.set_int32_le b off (Int64.to_int32 v)
+    | 8 -> Bytes.set_int64_le b off v
+    | _ ->
+        for i = 0 to size - 1 do
+          Bytes.set_uint8 b (off + i)
+            (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+        done
+  else
+    for i = 0 to size - 1 do
+      write_u8 t (addr + i)
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
+    done
 
 let read_u64 t addr = read t ~addr ~size:8
 let write_u64 t addr v = write t ~addr ~size:8 v
@@ -128,19 +178,42 @@ let read_ptr t addr = Int64.to_int (read t ~addr ~size:8)
 
 let write_ptr t addr p = write t ~addr ~size:8 (Int64.of_int p)
 
+(* Bulk operations walk the range one page-sized chunk at a time. *)
+
 let read_bytes t ~addr ~len =
   let out = Bytes.create len in
-  for i = 0 to len - 1 do
-    Bytes.set out i (Char.chr (read_u8 t (addr + i)))
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = a land page_mask in
+    let chunk = min (len - !pos) (page_size - off) in
+    let b = page_of t ~write:false a in
+    Bytes.blit b off out !pos chunk;
+    pos := !pos + chunk
   done;
   out
 
 let write_bytes t ~addr s =
-  String.iteri (fun i c -> write_u8 t (addr + i) (Char.code c)) s
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = a land page_mask in
+    let chunk = min (len - !pos) (page_size - off) in
+    let b = page_of t ~write:true a in
+    Bytes.blit_string s !pos b off chunk;
+    pos := !pos + chunk
+  done
 
 let zero t ~addr ~len =
-  for i = 0 to len - 1 do
-    write_u8 t (addr + i) 0
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = a land page_mask in
+    let chunk = min (len - !pos) (page_size - off) in
+    let b = page_of t ~write:true a in
+    Bytes.fill b off chunk '\000';
+    pos := !pos + chunk
   done
 
 (** [blit t ~src ~dst ~len] copies [len] bytes within the address space

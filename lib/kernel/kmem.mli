@@ -33,6 +33,10 @@ type t = {
   mutable fault_on_unmapped : bool;
       (** default [false]: reads of unmapped pages yield zeroes and
           writes map on demand *)
+  mutable last_idx : int;
+      (** single-entry page-lookup cache; [-1] when empty.  Pages are
+          never unmapped, so the cache never needs invalidation. *)
+  mutable last_page : Bytes.t;
 }
 
 val create : unit -> t

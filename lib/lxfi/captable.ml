@@ -30,6 +30,10 @@ type t = {
   mutable big : wentry list;  (** oversized ranges, checked linearly *)
   calls : (int, unit) Hashtbl.t;
   refs : (string * int, unit) Hashtbl.t;
+  mutable last_hit : wentry option;
+      (** last covering WRITE range (guard-write fast path); sound
+          because adding capabilities never shrinks a range, so the
+          cache only needs dropping on revoke/clear *)
 }
 
 let create () =
@@ -38,6 +42,7 @@ let create () =
     big = [];
     calls = Hashtbl.create 16;
     refs = Hashtbl.create 16;
+    last_hit = None;
   }
 
 let slots_of ~base ~size =
@@ -69,13 +74,38 @@ let add_write t ~base ~size =
 
 let covers e ~addr ~size = e.base <= addr && addr + size <= e.base + e.size
 
-(** [has_write t ~addr ~size] — is [addr, addr+size) covered by a single
-    WRITE capability? *)
-let has_write t ~addr ~size =
+(** [has_write_uncached t ~addr ~size] — the cache-free covering-range
+    query (reference semantics; the property suite checks the cached
+    path against it). *)
+let has_write_uncached t ~addr ~size =
   (match Hashtbl.find_opt t.writes (addr lsr slot_shift) with
   | None -> false
   | Some entries -> List.exists (fun e -> covers e ~addr ~size) entries)
   || List.exists (fun e -> covers e ~addr ~size) t.big
+
+(** [has_write t ~addr ~size] — is [addr, addr+size) covered by a single
+    WRITE capability?  Consults the last covering range first: guarded
+    module stores cluster heavily (the same skb / stack buffer written
+    field by field), so this hits far more often than the bucket scan. *)
+let has_write t ~addr ~size =
+  match t.last_hit with
+  | Some e when covers e ~addr ~size -> true
+  | _ ->
+      let find = List.find_opt (fun e -> covers e ~addr ~size) in
+      let hit =
+        match
+          match Hashtbl.find_opt t.writes (addr lsr slot_shift) with
+          | None -> None
+          | Some entries -> find entries
+        with
+        | Some _ as r -> r
+        | None -> find t.big
+      in
+      (match hit with
+      | Some _ ->
+          t.last_hit <- hit;
+          true
+      | None -> false)
 
 (** [find_write_covering t ~addr] — the covering entry for a single
     address, if any (used to answer "who wrote this slot"). *)
@@ -96,6 +126,7 @@ let intersects e ~base ~size = e.base < base + size && base < e.base + e.size
     were removed.  Used by transfer actions, which revoke from {e all}
     principals so that no copies survive (§3.3). *)
 let remove_write_intersecting t ~base ~size =
+  t.last_hit <- None;
   (* Collect victims from the overlapped slots, then delete each victim
      from all slots its own range covers. *)
   let first, last = slots_of ~base ~size in
@@ -171,6 +202,7 @@ let ref_count t = Hashtbl.length t.refs
 (** [clear t] drops every capability of every type — the quarantine
     revocation primitive. *)
 let clear t =
+  t.last_hit <- None;
   Hashtbl.reset t.writes;
   t.big <- [];
   Hashtbl.reset t.calls;

@@ -15,6 +15,9 @@ type t = {
   mutable big : wentry list;  (** oversized ranges, checked linearly *)
   calls : (int, unit) Hashtbl.t;
   refs : (string * int, unit) Hashtbl.t;
+  mutable last_hit : wentry option;
+      (** last covering WRITE range (guard-write fast path); dropped on
+          any revoke/clear *)
 }
 
 val slot_shift : int
@@ -32,7 +35,13 @@ val add_write : t -> base:int -> size:int -> unit
     identical range.  Raises [Invalid_argument] when [size <= 0]. *)
 
 val has_write : t -> addr:int -> size:int -> bool
-(** Is [addr, addr+size) covered by a single WRITE capability? *)
+(** Is [addr, addr+size) covered by a single WRITE capability?
+    Consults a one-entry "last covering range" cache before the bucket
+    scan; semantically identical to {!has_write_uncached}. *)
+
+val has_write_uncached : t -> addr:int -> size:int -> bool
+(** The cache-free covering-range query — reference semantics for the
+    cached fast path (exercised differentially by the property suite). *)
 
 val find_write_covering : t -> addr:int -> wentry option
 (** The entry covering the single address [addr], if any (used to

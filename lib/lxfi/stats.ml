@@ -84,6 +84,12 @@ type snapshot = {
   s_kernel_indcall_all : int;
   s_kernel_indcall_checked : int;
   s_kernel_indcall_elided : int;
+  s_caps_granted : int;
+  s_caps_revoked : int;
+  s_principal_switches : int;
+  s_violations : int;
+  s_quarantines : int;
+  s_watchdog_expiries : int;
 }
 
 let snapshot t =
@@ -96,6 +102,12 @@ let snapshot t =
     s_kernel_indcall_all = t.kernel_indcall_all;
     s_kernel_indcall_checked = t.kernel_indcall_checked;
     s_kernel_indcall_elided = t.kernel_indcall_elided;
+    s_caps_granted = t.caps_granted;
+    s_caps_revoked = t.caps_revoked;
+    s_principal_switches = t.principal_switches;
+    s_violations = t.violations;
+    s_quarantines = t.quarantines;
+    s_watchdog_expiries = t.watchdog_expiries;
   }
 
 let since t s =
@@ -108,6 +120,12 @@ let since t s =
     s_kernel_indcall_all = t.kernel_indcall_all - s.s_kernel_indcall_all;
     s_kernel_indcall_checked = t.kernel_indcall_checked - s.s_kernel_indcall_checked;
     s_kernel_indcall_elided = t.kernel_indcall_elided - s.s_kernel_indcall_elided;
+    s_caps_granted = t.caps_granted - s.s_caps_granted;
+    s_caps_revoked = t.caps_revoked - s.s_caps_revoked;
+    s_principal_switches = t.principal_switches - s.s_principal_switches;
+    s_violations = t.violations - s.s_violations;
+    s_quarantines = t.quarantines - s.s_quarantines;
+    s_watchdog_expiries = t.watchdog_expiries - s.s_watchdog_expiries;
   }
 
 let pp ppf t =

@@ -42,6 +42,12 @@ type snapshot = {
   s_kernel_indcall_all : int;
   s_kernel_indcall_checked : int;
   s_kernel_indcall_elided : int;
+  s_caps_granted : int;
+  s_caps_revoked : int;
+  s_principal_switches : int;
+  s_violations : int;
+  s_quarantines : int;
+  s_watchdog_expiries : int;
 }
 
 val snapshot : t -> snapshot

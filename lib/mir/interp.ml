@@ -19,10 +19,61 @@
     address integrity is structural here; the shadow stack still
     enforces the boundary-crossing discipline at wrappers, and the
     entry/exit hook cost is what Figure 13's "function entry/exit"
-    guards measure. *)
+    guards measure.
+
+    For wall-clock speed each function is {e compiled} once, on first
+    activation, into an internal form ({!rfunc}): locals become frame
+    array slots instead of string-keyed hash entries, global/function/
+    import names resolve to addresses at compile time, and direct
+    callees dispatch through a hash table rather than a list scan.
+    Compilation is purely structural (one compiled node per AST node),
+    so step counts, fuel consumption and simulated cycle totals are
+    identical to interpreting the AST directly.
+
+    Cycle accounting is batched: each step accumulates into
+    [pending_cycles] and the total is flushed to {!Kcycles} at every
+    observable boundary — external calls, guard callbacks, entry/exit
+    hooks, fuel exhaustion, and interpreter exit — so any code that can
+    observe the cycle clock (wrappers, guards, the quarantine policy's
+    escalation window) sees exactly the value per-step charging would
+    have produced. *)
 
 open Kernel_sim
 open Ast
+
+(** A function compiled to the interpreter's internal form: frame slots
+    instead of string-keyed locals, addresses resolved, callees hash-
+    dispatched.  One compiled node per AST node, so fuel/cycle
+    accounting is unchanged. *)
+type rexpr =
+  | Rconst of int64
+  | Rvar of int * string  (** frame slot; name kept for fault reports *)
+  | Raddr of int64  (** resolved [Glob]/[Funcaddr]/[Extaddr] *)
+  | Rfail of exn  (** name that failed to resolve; raises on evaluation *)
+  | Rload of int * rexpr  (** byte size *)
+  | Rbinop of binop * width * rexpr * rexpr
+  | Rcall_direct of string * rexpr array
+  | Rcall_ext of int * rexpr array  (** resolved import address *)
+  | Rcall_ext_fail of exn * rexpr array  (** unresolvable import *)
+  | Rcall_ind of rexpr * rexpr array
+
+type rstmt =
+  | Rlet of int * rexpr
+  | Ralloca of int * int  (** slot, 16-byte-aligned size *)
+  | Rstore of int * rexpr * rexpr  (** byte size, address, value *)
+  | Rif of rexpr * rstmt array * rstmt array
+  | Rwhile of rexpr * rstmt array
+  | Rexpr of rexpr
+  | Rreturn of rexpr
+  | Rguard_write of int * rexpr
+  | Rguard_ind of rexpr
+
+type rfunc = {
+  rf_name : string;
+  rf_param_slots : int array;  (** frame slot of each positional parameter *)
+  rf_nslots : int;
+  rf_body : rstmt array;
+}
 
 type ctx = {
   kst : Kstate.t;
@@ -47,6 +98,13 @@ type ctx = {
           runtime to convert into a watchdog violation; otherwise it is
           a plain soft-lockup oops *)
   mutable cur_fn : string;  (** innermost executing function, for fault reports *)
+  mutable pending_cycles : int;
+      (** module cycles accumulated since the last flush (see
+          {!flush_cycles}) *)
+  compiled : (string, rfunc) Hashtbl.t;  (** per-function compile cache *)
+  mutable fn_by_addr : (int, string) Hashtbl.t option;
+      (** text address -> function name, built on first indirect
+          intra-module call *)
 }
 
 exception Return_value of int64
@@ -79,15 +137,30 @@ let create ~kst ~prog ~global_addr ~func_addr ~ext_addr ~call_ext ~guard_write
     steps = 0;
     watchdog = false;
     cur_fn = "";
+    pending_cycles = 0;
+    compiled = Hashtbl.create 16;
+    fn_by_addr = None;
   }
+
+(** [flush_cycles ctx] charges the batched module cycles to the global
+    clock.  Called automatically at every boundary where other code can
+    observe {!Kcycles} (external calls, guards, hooks, interpreter
+    exit); callers outside the interpreter never need it. *)
+let flush_cycles ctx =
+  if ctx.pending_cycles > 0 then begin
+    Kcycles.charge ctx.kst.Kstate.cycles Kcycles.Module ctx.pending_cycles;
+    ctx.pending_cycles <- 0
+  end
 
 let tick ctx =
   ctx.steps <- ctx.steps + 1;
-  Kcycles.charge ctx.kst.Kstate.cycles Kcycles.Module 1;
+  ctx.pending_cycles <- ctx.pending_cycles + 1;
   ctx.fuel <- ctx.fuel - 1;
-  if ctx.fuel <= 0 then
+  if ctx.fuel <= 0 then begin
+    flush_cycles ctx;
     if ctx.watchdog then raise (Fuel_exhausted ctx.prog.pname)
     else raise (Kstate.Oops (Printf.sprintf "soft lockup in module %s" ctx.prog.pname))
+  end
 
 let truncate w v =
   match w with
@@ -96,10 +169,25 @@ let truncate w v =
   | W16 -> Int64.logand v 0xffffL
   | W8 -> Int64.logand v 0xffL
 
+let bits_of_width = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
+
+(** Reinterpret the low [w] bits of [v] as a signed value (narrow
+    values circulate zero-extended; signed compares must not). *)
+let sign_extend w v =
+  match w with
+  | W64 -> v
+  | _ ->
+      let sh = 64 - bits_of_width w in
+      Int64.shift_right (Int64.shift_left v sh) sh
+
 let bool_ b = if b then 1L else 0L
 
 let eval_binop op w a b =
   let arith f = truncate w (f a b) in
+  (* Shift amounts wrap at the operation width, as on x86; signed
+     compares sign-extend both operands to the width first. *)
+  let shift_mask = bits_of_width w - 1 in
+  let scmp () = Int64.compare (sign_extend w a) (sign_extend w b) in
   match op with
   | Add -> arith Int64.add
   | Sub -> arith Int64.sub
@@ -111,120 +199,257 @@ let eval_binop op w a b =
   | Band -> arith Int64.logand
   | Bor -> arith Int64.logor
   | Bxor -> arith Int64.logxor
-  | Shl -> truncate w (Int64.shift_left a (Int64.to_int b land 63))
-  | Lshr -> truncate w (Int64.shift_right_logical a (Int64.to_int b land 63))
+  | Shl -> truncate w (Int64.shift_left a (Int64.to_int b land shift_mask))
+  | Lshr ->
+      truncate w
+        (Int64.shift_right_logical (truncate w a) (Int64.to_int b land shift_mask))
   | Eq -> bool_ (Int64.equal a b)
   | Ne -> bool_ (not (Int64.equal a b))
-  | Lt -> bool_ (Int64.compare a b < 0)
-  | Le -> bool_ (Int64.compare a b <= 0)
-  | Gt -> bool_ (Int64.compare a b > 0)
-  | Ge -> bool_ (Int64.compare a b >= 0)
+  | Lt -> bool_ (scmp () < 0)
+  | Le -> bool_ (scmp () <= 0)
+  | Gt -> bool_ (scmp () > 0)
+  | Ge -> bool_ (scmp () >= 0)
   | Ult -> bool_ (Int64.unsigned_compare a b < 0)
 
-type frame = { vars : (string, int64) Hashtbl.t; saved_sp : int }
+(** An activation frame: locals live in [slots]; [bound] distinguishes
+    a never-assigned local (access is an oops) from a zero one. *)
+type frame = { slots : int64 array; bound : bool array }
 
-let rec eval ctx frame (e : expr) : int64 =
+(* ------------------------------------------------------------------ *)
+(* Compilation: AST -> internal form, once per function.               *)
+
+type slotmap = { stbl : (string, int) Hashtbl.t; mutable snext : int }
+
+let slot_of sm name =
+  match Hashtbl.find_opt sm.stbl name with
+  | Some i -> i
+  | None ->
+      let i = sm.snext in
+      sm.snext <- i + 1;
+      Hashtbl.replace sm.stbl name i;
+      i
+
+let resolve f name = match f name with a -> Raddr (Int64.of_int a) | exception e -> Rfail e
+
+let rec compile_expr ctx sm (e : expr) : rexpr =
+  match e with
+  | Const n -> Rconst n
+  | Var name -> Rvar (slot_of sm name, name)
+  | Glob name -> resolve ctx.global_addr name
+  | Funcaddr name -> resolve ctx.func_addr name
+  | Extaddr name -> resolve ctx.ext_addr name
+  | Load (w, ea) -> Rload (bytes_of_width w, compile_expr ctx sm ea)
+  | Binop (op, w, a, b) -> Rbinop (op, w, compile_expr ctx sm a, compile_expr ctx sm b)
+  | Call (callee, args) -> (
+      let rargs = Array.of_list (List.map (compile_expr ctx sm) args) in
+      match callee with
+      | Direct name -> Rcall_direct (name, rargs)
+      | Ext name -> (
+          match ctx.ext_addr name with
+          | a -> Rcall_ext (a, rargs)
+          | exception e -> Rcall_ext_fail (e, rargs))
+      | Indirect te -> Rcall_ind (compile_expr ctx sm te, rargs))
+
+let rec compile_stmt ctx sm (s : stmt) : rstmt =
+  match s with
+  | Let (name, e) ->
+      let re = compile_expr ctx sm e in
+      Rlet (slot_of sm name, re)
+  | Alloca (name, n) -> Ralloca (slot_of sm name, (n + 15) land lnot 15)
+  | Store (w, ea, ev) ->
+      Rstore (bytes_of_width w, compile_expr ctx sm ea, compile_expr ctx sm ev)
+  | If (c, t, e) ->
+      Rif (compile_expr ctx sm c, compile_stmts ctx sm t, compile_stmts ctx sm e)
+  | While (c, b) -> Rwhile (compile_expr ctx sm c, compile_stmts ctx sm b)
+  | Expr e -> Rexpr (compile_expr ctx sm e)
+  | Return e -> Rreturn (compile_expr ctx sm e)
+  | Guard (Gwrite (w, ea)) -> Rguard_write (bytes_of_width w, compile_expr ctx sm ea)
+  | Guard (Gindcall ea) -> Rguard_ind (compile_expr ctx sm ea)
+
+and compile_stmts ctx sm stmts = Array.of_list (List.map (compile_stmt ctx sm) stmts)
+
+let compile_func ctx (f : func) : rfunc =
+  let sm = { stbl = Hashtbl.create 16; snext = 0 } in
+  let param_slots = Array.of_list (List.map (slot_of sm) f.params) in
+  let body = compile_stmts ctx sm f.body in
+  { rf_name = f.fname; rf_param_slots = param_slots; rf_nslots = sm.snext; rf_body = body }
+
+let find_rfunc ctx fname =
+  match Hashtbl.find_opt ctx.compiled fname with
+  | Some rf -> Some rf
+  | None -> (
+      match find_func ctx.prog fname with
+      | None -> None
+      | Some f ->
+          let rf = compile_func ctx f in
+          Hashtbl.replace ctx.compiled fname rf;
+          Some rf)
+
+(** Text address -> function name, replacing the per-call list scan of
+    [prog.funcs].  First-match-wins, as the scan was. *)
+let addr_index ctx =
+  match ctx.fn_by_addr with
+  | Some t -> t
+  | None ->
+      let t = Hashtbl.create 16 in
+      List.iter
+        (fun (f : func) ->
+          let a = ctx.func_addr f.fname in
+          if not (Hashtbl.mem t a) then Hashtbl.replace t a f.fname)
+        ctx.prog.funcs;
+      ctx.fn_by_addr <- Some t;
+      t
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                          *)
+
+let unbound ctx name =
+  raise (Kstate.Oops (Printf.sprintf "module %s: unbound local %s" ctx.prog.pname name))
+
+let rec eval ctx fr (e : rexpr) : int64 =
   tick ctx;
   match e with
-  | Const n -> n
-  | Var name -> (
-      match Hashtbl.find_opt frame.vars name with
-      | Some x -> x
-      | None ->
-          raise (Kstate.Oops (Printf.sprintf "module %s: unbound local %s" ctx.prog.pname name)))
-  | Glob name -> Int64.of_int (ctx.global_addr name)
-  | Funcaddr name -> Int64.of_int (ctx.func_addr name)
-  | Extaddr name -> Int64.of_int (ctx.ext_addr name)
-  | Load (w, ea) ->
-      let addr = Int64.to_int (eval ctx frame ea) in
-      Kmem.read ctx.kst.Kstate.mem ~addr ~size:(bytes_of_width w)
-  | Binop (op, w, a, b) ->
-      let va = eval ctx frame a in
-      let vb = eval ctx frame b in
+  | Rconst n -> n
+  | Rvar (i, name) -> if fr.bound.(i) then fr.slots.(i) else unbound ctx name
+  | Raddr a -> a
+  | Rfail e -> raise e
+  | Rload (size, ea) ->
+      let addr = Int64.to_int (eval ctx fr ea) in
+      Kmem.read ctx.kst.Kstate.mem ~addr ~size
+  | Rbinop (op, w, a, b) ->
+      let va = eval ctx fr a in
+      let vb = eval ctx fr b in
       eval_binop op w va vb
-  | Call (callee, args) -> (
-      let vargs = List.map (eval ctx frame) args in
-      match callee with
-      | Direct name -> invoke ctx name vargs
-      | Ext name -> ctx.call_ext (ctx.ext_addr name) vargs
-      | Indirect te ->
-          (* The rewriter places a Gindcall guard immediately before any
-             indirect call; by the time we get here the target is
-             approved (or we are running unguarded stock/xfi code). *)
-          let target = Int64.to_int (eval ctx frame te) in
-          call_address ctx target vargs)
+  | Rcall_direct (name, rargs) -> invoke ctx name (eval_args ctx fr rargs)
+  | Rcall_ext (addr, rargs) ->
+      let vargs = eval_args ctx fr rargs in
+      flush_cycles ctx;
+      ctx.call_ext addr vargs
+  | Rcall_ext_fail (e, rargs) ->
+      ignore (eval_args ctx fr rargs);
+      raise e
+  | Rcall_ind (te, rargs) ->
+      (* The rewriter places a Gindcall guard immediately before any
+         indirect call; by the time we get here the target is approved
+         (or we are running unguarded stock/xfi code). *)
+      let target = Int64.to_int (eval ctx fr te) in
+      call_address ctx target (eval_args ctx fr rargs)
+
+and eval_args ctx fr rargs =
+  (* Left-to-right, as [List.map eval] evaluated the AST arguments. *)
+  let n = Array.length rargs in
+  let rec go i = if i >= n then [] else let v = eval ctx fr rargs.(i) in v :: go (i + 1) in
+  go 0
 
 and call_address ctx target vargs =
   (* Intra-module function addresses run in the interpreter; everything
      else goes out through the external dispatcher. *)
-  match
-    List.find_opt (fun f -> ctx.func_addr f.fname = target) ctx.prog.funcs
-  with
-  | Some f -> invoke ctx f.fname vargs
-  | None -> ctx.call_ext target vargs
+  match Hashtbl.find_opt (addr_index ctx) target with
+  | Some fname -> invoke ctx fname vargs
+  | None ->
+      flush_cycles ctx;
+      ctx.call_ext target vargs
 
 and invoke ctx fname vargs =
-  match find_func ctx.prog fname with
+  match find_rfunc ctx fname with
   | None ->
       raise (Kstate.Oops (Printf.sprintf "module %s: no function %s" ctx.prog.pname fname))
-  | Some f ->
-      if List.length f.params <> List.length vargs then
+  | Some rf ->
+      let nparams = Array.length rf.rf_param_slots in
+      let nargs = List.length vargs in
+      if nparams <> nargs then
         raise
           (Kstate.Oops
              (Printf.sprintf "module %s: %s arity mismatch (%d args, want %d)"
-                ctx.prog.pname fname (List.length vargs) (List.length f.params)));
-      let frame = { vars = Hashtbl.create 8; saved_sp = ctx.stack_ptr } in
-      List.iter2 (fun p a -> Hashtbl.replace frame.vars p a) f.params vargs;
-      if ctx.hooks_enabled then ctx.on_entry fname;
+                ctx.prog.pname fname nargs nparams));
+      let fr =
+        { slots = Array.make rf.rf_nslots 0L; bound = Array.make rf.rf_nslots false }
+      in
+      List.iteri
+        (fun i a ->
+          let s = rf.rf_param_slots.(i) in
+          fr.slots.(s) <- a;
+          fr.bound.(s) <- true)
+        vargs;
+      let saved_sp = ctx.stack_ptr in
+      if ctx.hooks_enabled then begin
+        flush_cycles ctx;
+        ctx.on_entry fname
+      end;
       let prev_fn = ctx.cur_fn in
       ctx.cur_fn <- fname;
-      let result =
-        match exec_stmts ctx frame f.body with
-        | () -> 0L
-        | exception Return_value v -> v
-        | exception e ->
-            ctx.cur_fn <- prev_fn;
-            raise e
+      let finish () =
+        (* Frame teardown is unconditional — including the exception
+           path, where a quarantined fault must not leak the faulting
+           frame's alloca space (repeated -EFAULT containment would
+           otherwise manufacture a spurious stack overflow). *)
+        ctx.cur_fn <- prev_fn;
+        ctx.stack_ptr <- saved_sp;
+        if ctx.hooks_enabled then begin
+          flush_cycles ctx;
+          ctx.on_exit fname
+        end
       in
-      ctx.cur_fn <- prev_fn;
-      ctx.stack_ptr <- frame.saved_sp;
-      if ctx.hooks_enabled then ctx.on_exit fname;
-      result
+      (match exec_block ctx fr rf.rf_body with
+      | () ->
+          finish ();
+          0L
+      | exception Return_value v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
 
-and exec_stmts ctx frame stmts = List.iter (exec ctx frame) stmts
+and exec_block ctx fr stmts =
+  for i = 0 to Array.length stmts - 1 do
+    exec ctx fr stmts.(i)
+  done
 
-and exec ctx frame (s : stmt) : unit =
+and exec ctx fr (s : rstmt) : unit =
   tick ctx;
   match s with
-  | Let (name, e) -> Hashtbl.replace frame.vars name (eval ctx frame e)
-  | Alloca (name, n) ->
-      let aligned = (n + 15) land lnot 15 in
+  | Rlet (i, e) ->
+      let v = eval ctx fr e in
+      fr.slots.(i) <- v;
+      fr.bound.(i) <- true
+  | Ralloca (i, aligned) ->
       if ctx.stack_ptr + aligned > ctx.stack_base + ctx.stack_len then
         raise (Kstate.Oops (Printf.sprintf "module %s: stack overflow" ctx.prog.pname));
       let addr = ctx.stack_ptr in
       ctx.stack_ptr <- ctx.stack_ptr + aligned;
-      Hashtbl.replace frame.vars name (Int64.of_int addr)
-  | Store (w, ea, ev) ->
-      let addr = Int64.to_int (eval ctx frame ea) in
-      let value = eval ctx frame ev in
-      Kmem.write ctx.kst.Kstate.mem ~addr ~size:(bytes_of_width w) value
-  | If (c, t, e) ->
-      if eval ctx frame c <> 0L then exec_stmts ctx frame t else exec_stmts ctx frame e
-  | While (c, body) ->
-      while eval ctx frame c <> 0L do
-        exec_stmts ctx frame body
+      fr.slots.(i) <- Int64.of_int addr;
+      fr.bound.(i) <- true
+  | Rstore (size, ea, ev) ->
+      let addr = Int64.to_int (eval ctx fr ea) in
+      let value = eval ctx fr ev in
+      Kmem.write ctx.kst.Kstate.mem ~addr ~size value
+  | Rif (c, t, e) ->
+      if eval ctx fr c <> 0L then exec_block ctx fr t else exec_block ctx fr e
+  | Rwhile (c, b) ->
+      while eval ctx fr c <> 0L do
+        exec_block ctx fr b
       done
-  | Expr e -> ignore (eval ctx frame e)
-  | Return e -> raise (Return_value (eval ctx frame e))
-  | Guard (Gwrite (w, ea)) ->
-      let addr = Int64.to_int (eval ctx frame ea) in
-      ctx.guard_write ~addr ~size:(bytes_of_width w)
-  | Guard (Gindcall ea) ->
-      let target = Int64.to_int (eval ctx frame ea) in
+  | Rexpr e -> ignore (eval ctx fr e)
+  | Rreturn e -> raise (Return_value (eval ctx fr e))
+  | Rguard_write (size, ea) ->
+      let addr = Int64.to_int (eval ctx fr ea) in
+      flush_cycles ctx;
+      ctx.guard_write ~addr ~size
+  | Rguard_ind ea ->
+      let target = Int64.to_int (eval ctx fr ea) in
+      flush_cycles ctx;
       ctx.guard_indcall ~target
 
 (** [run ctx fname args] invokes module function [fname]. *)
-let run ctx fname args = invoke ctx fname args
+let run ctx fname args =
+  match invoke ctx fname args with
+  | r ->
+      flush_cycles ctx;
+      r
+  | exception e ->
+      flush_cycles ctx;
+      raise e
 
 (** [refuel ctx] resets the runaway-loop budget (long benchmarks). *)
 let refuel ?(fuel = default_fuel) ctx = ctx.fuel <- fuel

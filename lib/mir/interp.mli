@@ -5,9 +5,19 @@
     runtime by the loader; absent in stock code); calls to imports
     dispatch through [call_ext]; the entry/exit hooks fire around every
     function activation when [hooks_enabled].  Each evaluated IR node
-    charges one [Kcycles.Module] cycle. *)
+    charges one [Kcycles.Module] cycle; charges accumulate in
+    [pending_cycles] and flush to the global clock at every observable
+    boundary (external calls, guards, hooks, interpreter exit).
+
+    Functions are compiled once, on first activation, into an internal
+    form (array-slot locals, resolved addresses, hash-dispatched
+    callees); compilation is structural, so step counts and cycle
+    totals match direct AST interpretation exactly. *)
 
 open Kernel_sim
+
+type rfunc
+(** A function compiled to the interpreter's internal form. *)
 
 type ctx = {
   kst : Kstate.t;
@@ -32,6 +42,13 @@ type ctx = {
   mutable cur_fn : string;
       (** innermost executing function ("" outside any activation);
           violation reports use it as the fault location *)
+  mutable pending_cycles : int;
+      (** module cycles accumulated since the last {!flush_cycles} *)
+  compiled : (string, rfunc) Hashtbl.t;
+      (** per-function compile cache, filled lazily *)
+  mutable fn_by_addr : (int, string) Hashtbl.t option;
+      (** text address → function name, built on first indirect
+          intra-module call *)
 }
 
 exception Return_value of int64
@@ -63,12 +80,21 @@ val truncate : Ast.width -> int64 -> int64
     how the CAN BCM overflow is expressed). *)
 
 val eval_binop : Ast.binop -> Ast.width -> int64 -> int64 -> int64
-(** Pure binop semantics; division by zero is a [Kstate.Oops]. *)
+(** Pure binop semantics; division by zero is a [Kstate.Oops].  Signed
+    compares sign-extend narrow operands; shift amounts wrap at the
+    operation width. *)
+
+val flush_cycles : ctx -> unit
+(** Charge the batched module cycles to the global clock.  The
+    interpreter calls this at every boundary where other code can
+    observe {!Kcycles}; external callers only need it if they read the
+    cycle clock mid-execution from outside a guard/hook/wrapper. *)
 
 val run : ctx -> string -> int64 list -> int64
 (** Invoke a module function by name.  Module bugs surface as
     [Kmem.Fault] / [Kstate.Oops]; guard callbacks may raise LXFI
-    violations. *)
+    violations.  Pending cycles are flushed on both normal and
+    exceptional exit. *)
 
 val refuel : ?fuel:int -> ctx -> unit
 (** Reset the runaway-loop budget (long benchmarks). *)

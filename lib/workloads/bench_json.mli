@@ -1,0 +1,29 @@
+(** Machine-readable benchmark output: a minimal JSON emitter for the
+    [BENCH_<section>.json] files written by [bench/main.exe --json].
+    Output is standard JSON; [nan]/[inf] floats become [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed (2-space indent), deterministic for deterministic
+    inputs — the enforcement-neutrality check compares these strings
+    byte for byte. *)
+
+val write_file : string -> t -> unit
+(** Write [to_string] plus a trailing newline to a file. *)
+
+val of_stats : Lxfi.Stats.snapshot -> t
+(** All guard counters, including the enforcement counters (grants,
+    revokes, principal switches, violations, quarantines, watchdog
+    expiries). *)
+
+val of_measure : Netperf_sim.measure -> t
+(** Simulated cycles per unit, guard-cycle share, and guard counters of
+    one netperf measurement. *)

@@ -329,6 +329,38 @@ let figure13 ?(pkts = 4000) () : guard_row list * measure =
         g_per_packet = per s.Lxfi.Stats.s_kernel_indcall_checked;
         g_paper_per_packet = 3.1;
       };
+      (* Enforcement activity behind the guards (no per-guard column in
+         the paper's Figure 13; [nan] renders as "-"). *)
+      {
+        g_type = "Caps granted";
+        g_per_packet = per s.Lxfi.Stats.s_caps_granted;
+        g_paper_per_packet = Float.nan;
+      };
+      {
+        g_type = "Caps revoked";
+        g_per_packet = per s.Lxfi.Stats.s_caps_revoked;
+        g_paper_per_packet = Float.nan;
+      };
+      {
+        g_type = "Principal switches";
+        g_per_packet = per s.Lxfi.Stats.s_principal_switches;
+        g_paper_per_packet = Float.nan;
+      };
+      {
+        g_type = "Violations";
+        g_per_packet = per s.Lxfi.Stats.s_violations;
+        g_paper_per_packet = Float.nan;
+      };
+      {
+        g_type = "Quarantines";
+        g_per_packet = per s.Lxfi.Stats.s_quarantines;
+        g_paper_per_packet = Float.nan;
+      };
+      {
+        g_type = "Watchdog expiries";
+        g_per_packet = per s.Lxfi.Stats.s_watchdog_expiries;
+        g_paper_per_packet = Float.nan;
+      };
     ],
     m )
 

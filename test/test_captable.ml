@@ -98,6 +98,66 @@ let test_fold_writes () =
   let n = Captable.fold_writes t (fun acc ~base:_ ~size:_ -> acc + 1) 0 in
   Alcotest.(check int) "distinct entries folded once" 2 n
 
+(* The one-entry "last covering range" cache on the guard-write fast
+   path must be invisible: under any interleaving of grants, revokes
+   and clears, the cached [has_write] answers exactly as the uncached
+   scan.  The generator works a small page universe so ranges collide,
+   straddle page boundaries, and occasionally exceed [big_range_pages]
+   (landing on the blanket list). *)
+
+type cop = Add of int * int | Remove of int * int | Clear | Query of int * int
+
+let gen_cop =
+  QCheck.Gen.(
+    let page = 0x1000 in
+    let addr = map (fun a -> page + (a * 8)) (int_bound (8 * page / 8)) in
+    let small_size = map (fun s -> 1 + s) (int_bound (2 * page)) in
+    let big_size =
+      map (fun s -> (Lxfi.Captable.big_range_pages + s) * page) (int_bound 8)
+    in
+    frequency
+      [
+        (5, map2 (fun a s -> Add (a, s)) addr small_size);
+        (1, map2 (fun a s -> Add (a, s)) addr big_size);
+        (3, map2 (fun a s -> Remove (a, s)) addr small_size);
+        (1, return Clear);
+        (6, map2 (fun a s -> Query (a, s)) addr small_size);
+      ])
+
+let show_cop = function
+  | Add (a, s) -> Printf.sprintf "Add(0x%x,%d)" a s
+  | Remove (a, s) -> Printf.sprintf "Remove(0x%x,%d)" a s
+  | Clear -> "Clear"
+  | Query (a, s) -> Printf.sprintf "Query(0x%x,%d)" a s
+
+let arb_cops =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map show_cop l))
+    QCheck.Gen.(list_size (int_bound 80) gen_cop)
+
+let prop_write_cache_transparent =
+  QCheck.Test.make ~count:500 ~name:"write cache = uncached has_write" arb_cops
+    (fun ops ->
+      let t = Captable.create () in
+      List.for_all
+        (function
+          | Add (base, size) ->
+              Captable.add_write t ~base ~size;
+              true
+          | Remove (base, size) ->
+              ignore (Captable.remove_write_intersecting t ~base ~size);
+              true
+          | Clear ->
+              Captable.clear t;
+              true
+          | Query (addr, size) ->
+              let uncached = Captable.has_write_uncached t ~addr ~size in
+              (* query twice: the first may fill the cache, the second
+                 must answer from it — both must agree with the scan *)
+              Captable.has_write t ~addr ~size = uncached
+              && Captable.has_write t ~addr ~size = uncached)
+        ops)
+
 let () =
   Alcotest.run "captable"
     [
@@ -116,4 +176,5 @@ let () =
           Alcotest.test_case "call + ref tables" `Quick test_call_refs;
           Alcotest.test_case "fold distinct" `Quick test_fold_writes;
         ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_write_cache_transparent ]);
     ]

@@ -223,6 +223,46 @@ let test_repeat_offender_escalates_to_retirement () =
     (Hashtbl.length sys.Ksys.rt.Lxfi.Runtime.modules);
   consistent sys
 
+(* a module whose entry allocates stack before faulting: every contained
+   fault used to leak the frame's alloca space (the interpreter's
+   exception path skipped the stack-pointer restore), so repeated
+   -EFAULT containment manufactured a spurious stack overflow *)
+let leaky =
+  prog "leaky" ~imports:[] ~globals:[]
+    ~funcs:
+      [
+        func "module_init" [] [ ret0 ];
+        func "entry" [ "n" ]
+          [
+            alloca "buf" 256;
+            store64 (v "buf") (v "n");
+            store64 (i 0x2_0BAD_0000L) (ii 1);
+            ret0;
+          ]
+          ~export:entry_slot;
+      ]
+
+let test_quarantined_reentry_restores_stack () =
+  let sys = qboot () in
+  let mi = load sys leaky in
+  let ctx =
+    match mi.Lxfi.Runtime.mi_ctx with
+    | Some ctx -> ctx
+    | None -> Alcotest.fail "no interpreter context"
+  in
+  let baseline = ctx.Mir.Interp.stack_ptr in
+  Alcotest.(check int) "baseline is the stack base" ctx.Mir.Interp.stack_base baseline;
+  for n = 1 to 50 do
+    Alcotest.(check int64)
+      (Printf.sprintf "entry %d contained" n)
+      (-14L)
+      (qdispatch sys mi n);
+    Alcotest.(check int)
+      (Printf.sprintf "stack pointer at baseline after entry %d" n)
+      baseline ctx.Mir.Interp.stack_ptr
+  done;
+  consistent sys
+
 (* an entry whose principal is named by its first argument, so two
    kernel objects select two sibling instance principals *)
 let multi =
@@ -301,5 +341,7 @@ let () =
             test_repeat_offender_escalates_to_retirement;
           Alcotest.test_case "sibling instance spared" `Quick
             test_quarantine_spares_sibling_instance;
+          Alcotest.test_case "re-entry restores stack pointer" `Quick
+            test_quarantined_reentry_restores_stack;
         ] );
     ]

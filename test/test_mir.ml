@@ -63,6 +63,33 @@ let test_comparisons () =
   check_expr "ge" 1L (ii 5 >=: ii 5);
   check_expr "gt" 0L (ii 5 >: ii 5)
 
+let test_narrow_signed_compares () =
+  let open Mir.Ast in
+  (* narrow values circulate zero-extended; signed compares must see
+     them at their width (a W32 -1 is 0xFFFF_FFFF) *)
+  check_expr "w32 -1 < 0" 1L (bin Lt W32 (i 0xFFFF_FFFFL) (ii 0));
+  check_expr "w32 -1 <= 0" 1L (bin Le W32 (i 0xFFFF_FFFFL) (ii 0));
+  check_expr "w32 0 > -1" 1L (bin Gt W32 (ii 0) (i 0xFFFF_FFFFL));
+  check_expr "w32 -1 >= -2" 1L (bin Ge W32 (i 0xFFFF_FFFFL) (i 0xFFFF_FFFEL));
+  check_expr "w16 -1 < 1" 1L (bin Lt W16 (i 0xFFFFL) (ii 1));
+  check_expr "w8 -128 < 127" 1L (bin Lt W8 (i 0x80L) (ii 127));
+  check_expr "w8 -1 > -128" 1L (bin Gt W8 (i 0xFFL) (i 0x80L));
+  check_expr "w32 ult stays unsigned" 0L (bin Ult W32 (i 0xFFFF_FFFFL) (ii 1));
+  check_expr "w64 unchanged" 1L (i (-1L) <: ii 1)
+
+let test_narrow_shift_masking () =
+  let open Mir.Ast in
+  (* shift counts wrap at the operation width, not at 64 *)
+  check_expr "w32 shl 32 = shl 0" 5L (bin Shl W32 (ii 5) (ii 32));
+  check_expr "w32 shl 33 = shl 1" 10L (bin Shl W32 (ii 5) (ii 33));
+  check_expr "w8 shl 8 = shl 0" 5L (bin Shl W8 (ii 5) (ii 8));
+  check_expr "w8 shl truncates" 0x80L (bin Shl W8 (ii 1) (ii 7));
+  check_expr "w16 lshr 17 = lshr 1" 4L (bin Lshr W16 (ii 8) (ii 17));
+  check_expr "w32 lshr 32 = lshr 0" 7L (bin Lshr W32 (ii 7) (ii 32));
+  check_expr "w32 lshr shifts the truncated value" 1L
+    (bin Lshr W32 (i 0x1_8000_0000L) (ii 31));
+  check_expr "w64 shl 64 = shl 0" 5L (ii 5 <<: ii 64)
+
 let test_32bit_wrapping () =
   (* the CAN BCM overflow: 0x10000001 * 16 wraps to 16 in u32 *)
   check_expr "mul32 wraps" 16L (mul32 (i 0x10000001L) (ii 16));
@@ -232,6 +259,9 @@ let () =
         [
           Alcotest.test_case "arithmetic" `Quick test_arithmetic;
           Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "narrow signed compares" `Quick
+            test_narrow_signed_compares;
+          Alcotest.test_case "narrow shift masking" `Quick test_narrow_shift_masking;
           Alcotest.test_case "32-bit wrapping" `Quick test_32bit_wrapping;
           Alcotest.test_case "control flow" `Quick test_control_flow;
           Alcotest.test_case "memory + globals" `Quick test_memory_and_globals;
