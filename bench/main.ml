@@ -19,7 +19,10 @@
                          deterministic guard counters (fig13 + faultsim)
                          and compare byte-for-byte against FILE; exit 1
                          on mismatch.  Runs instead of the sections.
-     --write-ref FILE    regenerate FILE for --check *)
+     --write-ref FILE    regenerate FILE for --check
+     --trace             additionally run a traced netperf op mix:
+                         prints the per-principal profile and writes
+                         TRACE_netperf.json (Chrome trace-event format) *)
 
 open Kmodules
 open Workloads
@@ -28,12 +31,16 @@ module R = Report
 let json_mode = ref false
 let check_file = ref None
 let write_ref_file = ref None
+let trace_mode = ref false
 
 let cli_sections =
   let rec strip = function
     | [] -> []
     | "--json" :: rest ->
         json_mode := true;
+        strip rest
+    | "--trace" :: rest ->
+        trace_mode := true;
         strip rest
     | "--check" :: file :: rest ->
         check_file := Some file;
@@ -591,12 +598,27 @@ let faultsim_json rows breaches =
     ]
 
 let faultsim_section () =
-  ignore (Faultsim.print ~seed:42 : int);
+  ignore (Faultsim.print ~seed:42 () : int);
   if !json_mode then begin
-    let rows, breaches = Faultsim.run ~seed:42 in
+    let rows, breaches = Faultsim.run ~seed:42 () in
     Some (faultsim_json rows breaches)
   end
   else None
+
+(* Event tracing (--trace): one traced netperf op mix; the profile goes
+   to stdout, the Chrome trace-event JSON next to the bench JSON. *)
+let trace_section () =
+  let out = "TRACE_netperf.json" in
+  let rc = Trace_run.run ~seed:1 ~workload:"netperf" ~out Fmt.stdout in
+  Some
+    (Bench_json.Obj
+       [
+         ("workload", Bench_json.Str "netperf");
+         ("seed", Bench_json.Int 1);
+         ("ops", Bench_json.Int Trace_run.ops);
+         ("chrome_trace", Bench_json.Str out);
+         ("cycles_reconciled", Bench_json.Bool (rc = 0));
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Enforcement-neutrality reference.                                    *)
@@ -609,7 +631,7 @@ let faultsim_section () =
    CI regenerates it and compares against the committed copy. *)
 let enforcement_reference () =
   let guards, m = Netperf_sim.figure13 () in
-  let rows, breaches = Faultsim.run ~seed:42 in
+  let rows, breaches = Faultsim.run ~seed:42 () in
   Bench_json.Obj
     [
       ( "fig13",
@@ -688,13 +710,16 @@ let () =
       ("overheads", module_overheads);
       ("faultsim", faultsim_section);
     ]
+    @ if !trace_mode then [ ("trace", trace_section) ] else []
   in
   List.iter
     (fun (name, f) ->
-      if section_wanted name then begin
-        let t0 = Unix.gettimeofday () in
+      if name = "trace" || section_wanted name then begin
+        (* Monotonic clock for the wall field: gettimeofday jumps under
+           NTP adjustment, which poisoned BENCH_*.json comparisons. *)
+        let t0 = Monotonic_clock.now () in
         let data = f () in
-        let wall = Unix.gettimeofday () -. t0 in
+        let wall = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
         match data with
         | Some d when !json_mode ->
             let file = "BENCH_" ^ name ^ ".json" in

@@ -6,6 +6,8 @@
      lxfi_sim modules                        corpus + annotation effort
      lxfi_sim annotations                    the annotated kernel API
      lxfi_sim dump MODULE [--mode MODE]      instrumented MIR of a module
+     lxfi_sim faultsim [--seed N]            fault-injection campaign
+     lxfi_sim trace WORKLOAD [--seed N]      event trace + principal profile
 *)
 
 open Cmdliner
@@ -259,16 +261,64 @@ let faultsim_cmd =
       & info [ "s"; "seed" ] ~docv:"SEED"
           ~doc:"Campaign seed; the same seed reproduces the exact same report.")
   in
-  let run seed =
+  let trace_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:"Capture each cell's faulting window as Chrome trace-event JSON \
+                into $(docv) (one file per cell).")
+  in
+  let run seed trace_dir =
     Kernel_sim.Klog.quiet ();
-    exit (Workloads.Faultsim.print ~seed)
+    (match trace_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    exit (Workloads.Faultsim.print ?trace_dir ~seed ())
   in
   Cmd.v
     (Cmd.info "faultsim"
        ~doc:"Run the deterministic fault-injection campaign against the \
              quarantine policy (alloc-fail, drop-grant, corrupt-slot, \
              watchdog x netperf, can, rds).")
-    Term.(const run $ seed)
+    Term.(const run $ seed $ trace_dir)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let workload_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun w -> (w, w)) Workloads.Trace_run.workload_names))) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to trace: netperf, can or rds.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Op-mix seed; the same seed yields byte-identical output.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE.json"
+          ~doc:"Write the trace as Chrome trace-event JSON (chrome://tracing).")
+  in
+  let limit =
+    Arg.(
+      value & opt int Trace.default_capacity
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Ring-buffer capacity: retain at most $(docv) events (newest win).")
+  in
+  let run workload seed out limit =
+    Kernel_sim.Klog.quiet ();
+    exit (Workloads.Trace_run.run ~seed ~limit ?out ~workload Fmt.stdout)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace a workload run: per-principal and per-entry-point profile \
+             (cycles by category, guards by type), optional Chrome trace-event \
+             JSON export.")
+    Term.(const run $ workload_arg $ seed $ out $ limit)
 
 (* ---- runmod ---- *)
 
@@ -358,5 +408,6 @@ let () =
             state_cmd;
             dump_cmd;
             faultsim_cmd;
+            trace_cmd;
             runmod_cmd;
           ]))

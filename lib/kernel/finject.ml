@@ -96,7 +96,10 @@ let fires t site =
         | Nth n -> c.c_seen = n
         | Prob p -> float01 t < p
       in
-      if hit then c.c_fired <- c.c_fired + 1;
+      if hit then begin
+        c.c_fired <- c.c_fired + 1;
+        if !Trace.on then Trace.emit (Trace.Fault_injected (site_name site))
+      end;
       hit
 
 let seen t site = (counter_of t site).c_seen

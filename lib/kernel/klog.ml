@@ -13,10 +13,15 @@ let info fmt = Format.kasprintf (fun s -> Log.info (fun m -> m "%s" s)) fmt
 let warn fmt = Format.kasprintf (fun s -> Log.warn (fun m -> m "%s" s)) fmt
 let err fmt = Format.kasprintf (fun s -> Log.err (fun m -> m "%s" s)) fmt
 
-(** [quiet ()] disables all kernel log output (used by benchmarks). *)
+(** [quiet ()] disables all kernel log output (used by benchmarks).
+    Idempotent; inverse of {!verbose}. *)
 let quiet () = Logs.Src.set_level src None
 
-(** [verbose ()] enables debug-level output on the kernel source. *)
+(** [verbose ()] enables debug-level output on the kernel source.
+    Installs the default format reporter only when no reporter is set,
+    so a reporter the CLI or a test harness installed is never
+    clobbered.  Idempotent; inverse of {!quiet}. *)
 let verbose () =
-  Logs.set_reporter (Logs.format_reporter ());
+  if Logs.reporter () == Logs.nop_reporter then
+    Logs.set_reporter (Logs.format_reporter ());
   Logs.Src.set_level src (Some Logs.Debug)

@@ -101,12 +101,14 @@ let kmalloc t size =
       in
       Kmem.zero t.mem ~addr ~len:c.obj_size;
       Hashtbl.replace t.live addr c.obj_size;
+      if !Trace.on then Trace.emit (Trace.Slab_alloc (addr, c.obj_size));
       addr
   | None ->
       (* Large allocation: whole pages. *)
       let npages = (size + Kmem.page_size - 1) / Kmem.page_size in
       let addr = fresh_pages t npages in
       Hashtbl.replace t.live addr (npages * Kmem.page_size);
+      if !Trace.on then Trace.emit (Trace.Slab_alloc (addr, npages * Kmem.page_size));
       addr
 
 (** Actual usable size of a live object (class size, not request size). *)
@@ -122,6 +124,7 @@ let kfree t addr =
   | Some size ->
       Hashtbl.remove t.live addr;
       t.free_count <- t.free_count + 1;
+      if !Trace.on then Trace.emit (Trace.Slab_free addr);
       (match class_for t size with
       | Some c when c.obj_size = size -> Stack.push addr c.free
       | _ -> () (* large allocation: pages leak back to nothing; fine for sim *));

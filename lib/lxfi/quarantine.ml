@@ -34,6 +34,7 @@ let quarantine_principal (rt : Runtime.t) (p : Principal.t) ~reason =
       rt.Runtime.stats.Stats.quarantines <- rt.Runtime.stats.Stats.quarantines + 1;
       rt.Runtime.quarantine_log <-
         (Principal.describe p, reason) :: rt.Runtime.quarantine_log;
+      if !Trace.on then Trace.emit (Trace.Quarantine (Principal.describe p, reason));
       Klog.warn "quarantined %s: %s" (Principal.describe p) reason
 
 (** [escalate rt mi ~reason] — repeat offender: quarantine every
@@ -47,6 +48,7 @@ let escalate (rt : Runtime.t) (mi : Runtime.module_info) ~reason =
       List.iter (fun p -> quarantine_principal rt p ~reason) mi.Runtime.mi_principals;
       Runtime.retire_module rt mi;
       rt.Runtime.stats.Stats.escalations <- rt.Runtime.stats.Stats.escalations + 1;
+      if !Trace.on then Trace.emit (Trace.Escalation (mi.Runtime.mi_name, reason));
       Klog.warn "escalation: module %s retired (%s)" mi.Runtime.mi_name reason
 
 (** Record a contained violation against [mi] and escalate once

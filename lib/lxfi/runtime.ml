@@ -93,6 +93,19 @@ type t = {
 
 let charge rt n = Kcycles.charge rt.kst.Kstate.cycles Kcycles.Guard n
 
+(** [attach_trace rt buf] wires the {!Trace} subsystem to this runtime:
+    events are stamped from the simulated cycle clock and the current
+    principal.  Tracing stays zero-cost when unattached — every hook
+    site below checks [!Trace.on] before constructing anything, and
+    emitting never charges cycles. *)
+let attach_trace rt buf =
+  Trace.attach buf
+    ~clock:(fun () ->
+      let c = rt.kst.Kstate.cycles in
+      (Kcycles.kernel c, Kcycles.module_ c, Kcycles.guard c))
+    ~principal:(fun () ->
+      match rt.current with None -> "(kernel)" | Some p -> Principal.describe p)
+
 let create ~kst ~(config : Config.t) =
   let registry = Annot.Registry.create () in
   let kernel_stack_len = 16 * 1024 in
@@ -232,11 +245,13 @@ let principal_has rt (p : Principal.t) (c : Capability.t) : bool =
 let has_write_covering rt p ~addr ~size =
   principal_has rt p (Capability.Cwrite { base = addr; size })
 
-let grant rt (p : Principal.t) (c : Capability.t) =
+let grant ?(ctx = "") rt (p : Principal.t) (c : Capability.t) =
   let dropped =
     match rt.kst.Kstate.finject with
     | Some fi when Finject.fires fi Finject.Drop_grant ->
         rt.stats.Stats.caps_dropped <- rt.stats.Stats.caps_dropped + 1;
+        if !Trace.on then
+          Trace.emit (Trace.Cap (Trace.Dropped, Capability.to_string c, ctx));
         Klog.debug "finject: dropped grant of %s to %s" (Capability.to_string c)
           (Principal.describe p);
         true
@@ -244,6 +259,7 @@ let grant rt (p : Principal.t) (c : Capability.t) =
   in
   if not dropped then begin
     rt.stats.Stats.caps_granted <- rt.stats.Stats.caps_granted + 1;
+    if !Trace.on then Trace.emit (Trace.Cap (Trace.Grant, Capability.to_string c, ctx));
     match c with
     | Capability.Cwrite { base; size } ->
         Captable.add_write p.Principal.caps ~base ~size;
@@ -260,8 +276,9 @@ let grant rt (p : Principal.t) (c : Capability.t) =
     intersecting its range) from every principal in the system — the
     transfer semantics of §3.3 that guarantee no stale copies survive
     object reuse. *)
-let revoke_from_all rt (c : Capability.t) =
+let revoke_from_all ?(ctx = "") rt (c : Capability.t) =
   rt.stats.Stats.caps_revoked <- rt.stats.Stats.caps_revoked + 1;
+  if !Trace.on then Trace.emit (Trace.Cap (Trace.Revoke, Capability.to_string c, ctx));
   List.iter
     (fun (p : Principal.t) ->
       match c with
@@ -388,8 +405,8 @@ let rec run_action rt mi (mp : Principal.t) ~dir ~phase env (a : Annot.Ast.actio
               (* module -> kernel: verify source ownership; the kernel
                  needs no table entry. *)
               if not xfi then check_owned rt mi mp cap ~ctx:"copy(pre)"
-          | M2K, `Post -> grant rt mp cap
-          | K2M, `Pre -> grant rt mp cap
+          | M2K, `Post -> grant ~ctx:"copy(post)" rt mp cap
+          | K2M, `Pre -> grant ~ctx:"copy(pre)" rt mp cap
           | K2M, `Post ->
               (* callee (module) must own it; kernel side is implicit *)
               if not xfi then check_owned rt mi mp cap ~ctx:"copy(post)")
@@ -400,16 +417,16 @@ let rec run_action rt mi (mp : Principal.t) ~dir ~phase env (a : Annot.Ast.actio
           match (dir, phase) with
           | M2K, `Pre ->
               if not xfi then check_owned rt mi mp cap ~ctx:"transfer(pre)";
-              revoke_from_all rt cap
+              revoke_from_all ~ctx:"transfer(pre)" rt cap
           | M2K, `Post ->
-              revoke_from_all rt cap;
-              grant rt mp cap
+              revoke_from_all ~ctx:"transfer(post)" rt cap;
+              grant ~ctx:"transfer(post)" rt mp cap
           | K2M, `Pre ->
-              revoke_from_all rt cap;
-              grant rt mp cap
+              revoke_from_all ~ctx:"transfer(pre)" rt cap;
+              grant ~ctx:"transfer(pre)" rt mp cap
           | K2M, `Post ->
               if not xfi then check_owned rt mi mp cap ~ctx:"transfer(post)";
-              revoke_from_all rt cap)
+              revoke_from_all ~ctx:"transfer(post)" rt cap)
         (caps_of_caplist rt env cl)
 
 let run_actions rt mi mp ~dir ~phase env actions =
@@ -419,11 +436,13 @@ let run_actions rt mi mp ~dir ~phase env actions =
 
 let entry_guard rt =
   rt.stats.Stats.fn_entry <- rt.stats.Stats.fn_entry + 1;
-  charge rt Cost.fn_entry
+  charge rt Cost.fn_entry;
+  if !Trace.on then Trace.emit (Trace.Guard Trace.Gentry)
 
 let exit_guard rt =
   rt.stats.Stats.fn_exit <- rt.stats.Stats.fn_exit + 1;
-  charge rt Cost.fn_exit
+  charge rt Cost.fn_exit;
+  if !Trace.on then Trace.emit (Trace.Guard Trace.Gexit)
 
 (** [call_kexport rt ke args] — module→kernel crossing.  The wrapper
     validates pre actions against the calling principal, runs the
@@ -445,6 +464,7 @@ let call_kexport rt (ke : kexport) args =
             | None -> invalid_arg "current principal belongs to unknown module"
           in
           entry_guard rt;
+          if !Trace.on then Trace.emit (Trace.Span_begin (Trace.M2k, ke.ke_name));
           let token =
             Shadow_stack.push rt.sstack ~wrapper:ke.ke_name ~saved_principal:caller
           in
@@ -463,10 +483,12 @@ let call_kexport rt (ke : kexport) args =
           (match run () with
           | ret ->
               rt.current <- Shadow_stack.pop rt.sstack ~wrapper:ke.ke_name ~token;
+              if !Trace.on then Trace.emit (Trace.Span_end (Trace.M2k, ke.ke_name));
               exit_guard rt;
               ret
           | exception e ->
               rt.current <- Shadow_stack.pop rt.sstack ~wrapper:ke.ke_name ~token;
+              if !Trace.on then Trace.emit (Trace.Span_end (Trace.M2k, ke.ke_name));
               raise e))
 
 (** Select the callee principal for a kernel→module call according to
@@ -516,6 +538,7 @@ let invoke_module_function rt mi fname args =
           | None -> ());
           entry_guard rt;
           let wrapper = mi.mi_name ^ ":" ^ fname in
+          if !Trace.on then Trace.emit (Trace.Span_begin (Trace.K2m, wrapper));
           let token = Shadow_stack.push rt.sstack ~wrapper ~saved_principal:rt.current in
           let run () =
             let env = { params = slot.Annot.Registry.sl_params; args; ret = None } in
@@ -539,6 +562,7 @@ let invoke_module_function rt mi fname args =
               (Annot.Ast.pre_actions slot.Annot.Registry.sl_annot);
             rt.stats.Stats.principal_switches <- rt.stats.Stats.principal_switches + 1;
             charge rt Cost.principal_switch;
+            if !Trace.on then Trace.emit (Trace.Switch (Principal.describe callee));
             rt.current <- Some callee;
             let ret = run_mir rt mi fname args in
             (* Post actions run against the callee principal even if the
@@ -551,10 +575,12 @@ let invoke_module_function rt mi fname args =
           (match run () with
           | ret ->
               rt.current <- Shadow_stack.pop rt.sstack ~wrapper ~token;
+              if !Trace.on then Trace.emit (Trace.Span_end (Trace.K2m, wrapper));
               exit_guard rt;
               ret
           | exception e ->
               rt.current <- Shadow_stack.pop rt.sstack ~wrapper ~token;
+              if !Trace.on then Trace.emit (Trace.Span_end (Trace.K2m, wrapper));
               raise e))
 
 (** {1 Module-side guards (inserted by the rewriter)} *)
@@ -562,6 +588,7 @@ let invoke_module_function rt mi fname args =
 let guard_write rt mi ~addr ~size =
   rt.stats.Stats.mem_write_checks <- rt.stats.Stats.mem_write_checks + 1;
   charge rt Cost.mem_write_check;
+  if !Trace.on then Trace.emit (Trace.Guard Trace.Gwrite);
   match rt.current with
   | None ->
       Violation.raise_ ~kind:Violation.Write_denied ~module_:mi.mi_name
@@ -575,6 +602,7 @@ let guard_write rt mi ~addr ~size =
 let guard_indcall rt mi ~target =
   rt.stats.Stats.mod_indcall_checks <- rt.stats.Stats.mod_indcall_checks + 1;
   charge rt Cost.mod_indcall_check;
+  if !Trace.on then Trace.emit (Trace.Guard Trace.Gindcall);
   match rt.current with
   | None ->
       Violation.raise_ ~kind:Violation.Call_denied ~module_:mi.mi_name
@@ -629,11 +657,13 @@ let kernel_indirect_call rt ~slot ~ftype args =
   then begin
     rt.stats.Stats.kernel_indcall_elided <- rt.stats.Stats.kernel_indcall_elided + 1;
     charge rt Cost.kernel_indcall_fastpath;
+    if !Trace.on then Trace.emit (Trace.Guard Trace.Gkindcall_elided);
     dispatch ()
   end
   else begin
     rt.stats.Stats.kernel_indcall_checked <- rt.stats.Stats.kernel_indcall_checked + 1;
     charge rt Cost.kernel_indcall_check;
+    if !Trace.on then Trace.emit (Trace.Guard Trace.Gkindcall_checked);
     let target = Kmem.read_ptr rt.kst.Kstate.mem slot in
     let writers = writers_of rt ~addr:slot in
     match writers with
@@ -729,6 +759,8 @@ let lxfi_switch_global rt =
     let _, mi = require_current_mi rt ~who:"lxfi_switch_global" in
     rt.stats.Stats.principal_switches <- rt.stats.Stats.principal_switches + 1;
     charge rt Cost.principal_switch;
+    if !Trace.on then
+      Trace.emit (Trace.Switch (Principal.describe mi.mi_global));
     rt.current <- Some mi.mi_global
   end
 

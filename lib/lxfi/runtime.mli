@@ -94,6 +94,11 @@ val create : kst:Kstate.t -> config:Config.t -> t
 val install : t -> unit
 (** Point [Kstate.indcall] at {!kernel_indirect_call}. *)
 
+val attach_trace : t -> Trace.t -> unit
+(** Make [buf] the live {!Trace} sink, with events stamped from this
+    runtime's cycle clock and current principal.  Undo with
+    [Trace.detach ()]. *)
+
 val current_module : t -> module_info option
 val module_named : t -> string -> module_info option
 
@@ -137,14 +142,15 @@ val principal_has : t -> Principal.t -> Capability.t -> bool
 
 val has_write_covering : t -> Principal.t -> addr:int -> size:int -> bool
 
-val grant : t -> Principal.t -> Capability.t -> unit
+val grant : ?ctx:string -> t -> Principal.t -> Capability.t -> unit
 (** Insert a capability (marking the writer set for non-user WRITE
-    ranges). *)
+    ranges).  [ctx] names the annotation action performing the grant
+    (e.g. ["copy(post)"]) for trace attribution. *)
 
-val revoke_from_all : t -> Capability.t -> unit
+val revoke_from_all : ?ctx:string -> t -> Capability.t -> unit
 (** Remove the capability — for WRITE, anything intersecting its
     range — from {e every} principal in the system (§3.3 transfer
-    semantics). *)
+    semantics).  [ctx] as in {!grant}. *)
 
 val find_or_create_instance : t -> module_info -> name_ptr:int -> Principal.t
 (** The principal named by [name_ptr], following aliases; created on

@@ -89,7 +89,9 @@ type snapshot = {
   s_principal_switches : int;
   s_violations : int;
   s_quarantines : int;
+  s_escalations : int;
   s_watchdog_expiries : int;
+  s_caps_dropped : int;
 }
 
 let snapshot t =
@@ -107,7 +109,9 @@ let snapshot t =
     s_principal_switches = t.principal_switches;
     s_violations = t.violations;
     s_quarantines = t.quarantines;
+    s_escalations = t.escalations;
     s_watchdog_expiries = t.watchdog_expiries;
+    s_caps_dropped = t.caps_dropped;
   }
 
 let since t s =
@@ -125,7 +129,9 @@ let since t s =
     s_principal_switches = t.principal_switches - s.s_principal_switches;
     s_violations = t.violations - s.s_violations;
     s_quarantines = t.quarantines - s.s_quarantines;
+    s_escalations = t.escalations - s.s_escalations;
     s_watchdog_expiries = t.watchdog_expiries - s.s_watchdog_expiries;
+    s_caps_dropped = t.caps_dropped - s.s_caps_dropped;
   }
 
 let pp ppf t =

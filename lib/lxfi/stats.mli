@@ -47,7 +47,9 @@ type snapshot = {
   s_principal_switches : int;
   s_violations : int;
   s_quarantines : int;
+  s_escalations : int;
   s_watchdog_expiries : int;
+  s_caps_dropped : int;
 }
 
 val snapshot : t -> snapshot

@@ -44,6 +44,7 @@ let origin ?principal ?where () =
 let raise_ ?principal ?where ~kind ~module_ fmt =
   Format.kasprintf
     (fun detail ->
+      if !Trace.on then Trace.emit (Trace.Violation (kind_name kind, module_));
       Kernel_sim.Klog.warn "LXFI violation [%s] in %s%s: %s" (kind_name kind) module_
         (origin ?principal ?where ())
         detail;

@@ -376,6 +376,10 @@ and invoke ctx fname vargs =
         flush_cycles ctx;
         ctx.on_entry fname
       end;
+      if !Trace.on then begin
+        flush_cycles ctx;
+        Trace.emit (Trace.Mod_call fname)
+      end;
       let prev_fn = ctx.cur_fn in
       ctx.cur_fn <- fname;
       let finish () =

@@ -1,0 +1,88 @@
+(** Bounded ring-buffer event tracing for the simulated kernel.
+
+    Hook points across the simulation emit typed events stamped with
+    the simulated cycle clock and the current principal.  Off by
+    default; every hook site costs a single [!on] check when disabled.
+    See {!Trace_profile} for aggregation, text reports and Chrome
+    trace-event export. *)
+
+type guard =
+  | Gentry
+  | Gexit
+  | Gwrite
+  | Gindcall
+  | Gkindcall_checked
+  | Gkindcall_elided
+
+val guard_name : guard -> string
+val guard_count : int
+val guard_index : guard -> int
+
+type span = K2m  (** kernel→module entry point *) | M2k  (** module→kernel export *)
+
+type cap_op = Grant | Revoke | Dropped
+
+val cap_op_name : cap_op -> string
+
+type kind =
+  | Guard of guard
+  | Cap of cap_op * string * string  (** op, capability, annotation context *)
+  | Switch of string
+  | Span_begin of span * string
+  | Span_end of span * string
+  | Violation of string * string  (** kind name, module *)
+  | Quarantine of string * string  (** principal, reason *)
+  | Escalation of string * string  (** module, reason *)
+  | Slab_alloc of int * int  (** address, size *)
+  | Slab_free of int
+  | Fault_injected of string
+  | Mod_call of string  (** intra-module function activation *)
+
+type event = {
+  ev_kernel : int;
+  ev_module : int;
+  ev_guard : int;
+  ev_principal : string;
+  ev_kind : kind;
+}
+
+val ev_total : event -> int
+(** Total cycle stamp (sum of the three categories). *)
+
+type t
+
+val default_capacity : int
+
+val make : ?capacity:int -> unit -> t
+(** A fresh ring buffer; [capacity] bounds retained events (the newest
+    win). *)
+
+val on : bool ref
+(** The enabled flag.  Hook sites check [!Trace.on] and must construct
+    nothing when it is false — the zero-cost-when-disabled rule. *)
+
+val attach : t -> clock:(unit -> int * int * int) -> principal:(unit -> string) -> unit
+(** Make the buffer the live sink and set [on].  [clock] returns the
+    (kernel, module, guard) simulated cycle totals. *)
+
+val detach : unit -> unit
+(** Clear [on] and the providers; the buffer keeps its events. *)
+
+val emit : kind -> unit
+(** Append an event stamped with the current clock and principal.
+    Call only behind an [!on] check. *)
+
+val total : t -> int
+(** Events ever emitted (including overwritten ones). *)
+
+val dropped : t -> int
+(** Events lost to ring wraparound. *)
+
+val capacity : t -> int
+val clear : t -> unit
+
+val events : t -> event array
+(** Retained events, oldest first. *)
+
+val kind_label : kind -> string
+val pp_event : Format.formatter -> event -> unit

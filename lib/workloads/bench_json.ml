@@ -105,7 +105,9 @@ let of_stats (s : Lxfi.Stats.snapshot) : t =
       ("principal_switches", Int s.Lxfi.Stats.s_principal_switches);
       ("violations", Int s.Lxfi.Stats.s_violations);
       ("quarantines", Int s.Lxfi.Stats.s_quarantines);
+      ("escalations", Int s.Lxfi.Stats.s_escalations);
       ("watchdog_expiries", Int s.Lxfi.Stats.s_watchdog_expiries);
+      ("caps_dropped", Int s.Lxfi.Stats.s_caps_dropped);
     ]
 
 (** A netperf measurement: simulated cycles per unit, guard share, and

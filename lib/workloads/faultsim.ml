@@ -142,8 +142,11 @@ let plan_label = function
 
 (** [run_cell ~seed fclass ~workload ~plan] boots a fresh system, runs
     one injection cell and returns its report row plus any invariant
-    breaches (empty = all held). *)
-let run_cell ~seed fclass ~workload ~plan =
+    breaches (empty = all held).  With [trace_dir] set, the faulting
+    window — from just before the injection rounds through the
+    post-fault probes — is traced into a small ring (newest events win)
+    and written as Chrome trace-event JSON into the directory. *)
+let run_cell ?trace_dir ~seed fclass ~workload ~plan =
   let setup =
     match List.assoc_opt workload workloads with
     | Some f -> f
@@ -163,6 +166,14 @@ let run_cell ~seed fclass ~workload ~plan =
     let r = Lxfi.Quarantine.dispatch rt mi fname args in
     if Int64.equal r Lxfi.Quarantine.efault then incr efaults;
     r
+  in
+  let tbuf =
+    match trace_dir with
+    | None -> None
+    | Some dir ->
+        let b = Trace.make ~capacity:4096 () in
+        Lxfi.Runtime.attach_trace rt b;
+        Some (dir, b)
   in
   let fired = ref 0 in
   (match fclass with
@@ -226,6 +237,14 @@ let run_cell ~seed fclass ~workload ~plan =
   for i = 1 to 3 do
     ignore (dispatch "ok" [ Int64.of_int i ])
   done;
+  (match tbuf with
+  | None -> ()
+  | Some (dir, b) ->
+      Trace.detach ();
+      Trace_profile.write_chrome_json
+        (Printf.sprintf "%s/faultsim_%s_%s_%s.json" dir (class_name fclass) workload
+           (plan_label plan))
+        b);
   (* ---- invariants ---- *)
   let breaches = ref [] in
   let breach fmt =
@@ -286,7 +305,7 @@ let run_cell ~seed fclass ~workload ~plan =
 (** [run ~seed] sweeps every fault class over every workload at
     seed-derived injection points; returns the rows plus every
     invariant breach (an empty list is the pass criterion). *)
-let run ~seed =
+let run ?trace_dir ~seed () =
   let rng = Finject.create ~seed in
   (* Two deterministic single-shot points inside the drive window plus
      one probabilistic plan per finject-driven class. *)
@@ -315,7 +334,7 @@ let run ~seed =
     List.map
       (fun (fclass, workload, plan) ->
         incr idx;
-        run_cell ~seed:(seed + (7919 * !idx)) fclass ~workload ~plan)
+        run_cell ?trace_dir ~seed:(seed + (7919 * !idx)) fclass ~workload ~plan)
       cells
   in
   let rows = List.map fst results in
@@ -347,8 +366,8 @@ let run ~seed =
 
 (** [print ~seed] runs the campaign and prints the report; returns 0
     when every invariant held, 1 otherwise. *)
-let print ~seed =
-  let rows, breaches = run ~seed in
+let print ?trace_dir ~seed () =
+  let rows, breaches = run ?trace_dir ~seed () in
   Report.table
     ~title:(Printf.sprintf "Fault-injection campaign (seed %d)" seed)
     ~header:

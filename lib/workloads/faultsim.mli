@@ -27,17 +27,20 @@ type row = {
 val workload_names : string list
 
 val run_cell :
+  ?trace_dir:string ->
   seed:int ->
   fault_class ->
   workload:string ->
   plan:Kernel_sim.Finject.plan ->
   row * string list
 (** Boot a fresh quarantine system, run one injection cell, return its
-    row and any invariant breaches (empty = all held). *)
+    row and any invariant breaches (empty = all held).  With
+    [trace_dir] set, the faulting window is traced and written as
+    Chrome trace-event JSON into that directory. *)
 
-val run : seed:int -> row list * string list
+val run : ?trace_dir:string -> seed:int -> unit -> row list * string list
 (** The full campaign: every fault class x workload at seed-derived
     injection points.  Rows are sorted; breaches empty on success. *)
 
-val print : seed:int -> int
+val print : ?trace_dir:string -> seed:int -> unit -> int
 (** Run and print the report table; 0 when every invariant held. *)

@@ -357,8 +357,18 @@ let figure13 ?(pkts = 4000) () : guard_row list * measure =
         g_paper_per_packet = Float.nan;
       };
       {
+        g_type = "Escalations";
+        g_per_packet = per s.Lxfi.Stats.s_escalations;
+        g_paper_per_packet = Float.nan;
+      };
+      {
         g_type = "Watchdog expiries";
         g_per_packet = per s.Lxfi.Stats.s_watchdog_expiries;
+        g_paper_per_packet = Float.nan;
+      };
+      {
+        g_type = "Caps dropped";
+        g_per_packet = per s.Lxfi.Stats.s_caps_dropped;
         g_paper_per_packet = Float.nan;
       };
     ],

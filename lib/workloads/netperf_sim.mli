@@ -16,6 +16,17 @@ type env = {
 val setup : Lxfi.Config.t -> env
 (** Boot + one NIC + the e1000 module. *)
 
+(** {1 Packet paths} — exposed for the trace workload driver. *)
+
+val udp_send : env -> len:int -> unit
+val tcp_send : env -> msg_len:int -> unit
+
+val drain : env -> unit
+(** Drain the NIC TX queue. *)
+
+val rx_burst : env -> count:int -> frame_len:int -> int
+(** Inject and NAPI-poll a receive burst; returns packets delivered. *)
+
 type measure = {
   m_cycles_per_unit : float;
   m_guard_cycles_per_unit : float;

@@ -1,0 +1,95 @@
+(** The `lxfi_sim trace` workload driver.
+
+    Boots a fresh LXFI system, attaches a {!Trace} ring buffer to the
+    runtime, drives a seed-determined operation mix through one of the
+    standard workloads (the netperf packet paths, or can / rds socket
+    traffic), then prints the per-principal / per-entry-point profile
+    and optionally writes a Chrome trace-event JSON.
+
+    Everything the trace records is simulated (cycle stamps, simulated
+    addresses, principal descriptions) and the op mix derives from the
+    seed through the {!Kernel_sim.Finject} splitmix stream, so the
+    output — report and JSON alike — is byte-identical across runs for
+    a fixed seed.  CI diffs two runs to pin exactly that. *)
+
+open Kernel_sim
+open Kmodules
+
+(** Operations per run: enough boundary crossings for a meaningful
+    profile, small enough that a trace run stays well under a second. *)
+let ops = 1200
+
+let boot_netperf () =
+  let env = Netperf_sim.setup Lxfi.Config.lxfi in
+  let step rng i =
+    (match Finject.pick rng 4 with
+    | 0 | 1 -> Netperf_sim.udp_send env ~len:(32 + Finject.pick rng 96)
+    | 2 -> Netperf_sim.tcp_send env ~msg_len:(512 + Finject.pick rng 2048)
+    | _ ->
+        ignore (Netperf_sim.rx_burst env ~count:(1 + Finject.pick rng 8) ~frame_len:64));
+    if i mod 16 = 0 then Netperf_sim.drain env
+  in
+  (env.Netperf_sim.sys, step)
+
+let boot_can () =
+  let sys = Ksys.boot Lxfi.Config.lxfi in
+  let _ = Mod_common.install sys Can.spec in
+  let fd = Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_can ~typ:3 in
+  ignore (Sockets.sys_bind sys.Ksys.sock ~fd ~addr:0 ~alen:0);
+  let u = Kstate.user_alloc sys.Ksys.kst 16 in
+  let step _rng _i = ignore (Sockets.sys_sendmsg sys.Ksys.sock ~fd ~buf:u ~len:16 ~flags:0) in
+  (sys, step)
+
+let boot_rds () =
+  let sys = Ksys.boot Lxfi.Config.lxfi in
+  let _ = Mod_common.install sys Rds.spec in
+  let fd = Sockets.sys_socket sys.Ksys.sock ~family:Sockets.af_rds ~typ:2 in
+  let u = Kstate.user_alloc sys.Ksys.kst 64 in
+  let step rng _i =
+    ignore
+      (Sockets.sys_sendmsg sys.Ksys.sock ~fd ~buf:u ~len:(16 + (8 * Finject.pick rng 3))
+         ~flags:0)
+  in
+  (sys, step)
+
+let workload_names = [ "netperf"; "can"; "rds" ]
+
+(** [run ~workload ppf] — trace a workload run and print the profile to
+    [ppf].  [limit] caps retained events (ring capacity); [out] writes
+    the Chrome trace-event JSON.  Returns 0 when the per-principal
+    cycle totals reconcile with the {!Kcycles} clock, 1 otherwise. *)
+let run ?(seed = 1) ?(limit = Trace.default_capacity) ?out ~workload ppf =
+  let boot =
+    match workload with
+    | "netperf" -> boot_netperf
+    | "can" -> boot_can
+    | "rds" -> boot_rds
+    | w ->
+        invalid_arg
+          (Printf.sprintf "trace: unknown workload %s (expected %s)" w
+             (String.concat "|" workload_names))
+  in
+  let sys, step = boot () in
+  let rt = sys.Ksys.rt in
+  let buf = Trace.make ~capacity:limit () in
+  let rng = Finject.create ~seed in
+  (* Attach after boot: the profile covers the steady-state drive, not
+     module loading. *)
+  Lxfi.Runtime.attach_trace rt buf;
+  for i = 1 to ops do
+    step rng i
+  done;
+  Trace.detach ();
+  let c = sys.Ksys.kst.Kstate.cycles in
+  let final = (Kcycles.kernel c, Kcycles.module_ c, Kcycles.guard c) in
+  let profile = Trace_profile.aggregate ~final buf in
+  Fmt.pf ppf "trace: workload %s, seed %d, %d ops, ring capacity %d@." workload seed ops
+    limit;
+  Trace_profile.report ppf profile;
+  (match out with
+  | None -> ()
+  | Some path ->
+      Trace_profile.write_chrome_json path buf;
+      Fmt.pf ppf "chrome trace-event JSON written to %s@." path);
+  if Trace_profile.attributed_cycles profile = profile.Trace_profile.pr_total_cycles then 0
+  else 1

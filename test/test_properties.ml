@@ -389,7 +389,7 @@ let prop_faultsim_invariants =
 let prop_faultsim_deterministic =
   QCheck.Test.make ~count:3 ~name:"faultsim report is a pure function of the seed"
     (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1000))
-    (fun seed -> Workloads.Faultsim.run ~seed = Workloads.Faultsim.run ~seed)
+    (fun seed -> Workloads.Faultsim.run ~seed () = Workloads.Faultsim.run ~seed ())
 
 let () =
   Kernel_sim.Klog.quiet ();

@@ -1,0 +1,132 @@
+(* Stats snapshot/since round-trip: every mutable counter must survive
+   snapshot -> bump -> since.  A counter missed by [snapshot] or [since]
+   (the bug class this guards against: a field added to [t] but not
+   threaded through the snapshot record) makes the property fail. *)
+
+open Lxfi
+
+(* One bump thunk per mutable counter, paired with a reader for both the
+   live record and the snapshot.  Adding a counter to Stats.t without
+   extending this list fails the coverage check below. *)
+let counters :
+    (string * (Stats.t -> unit) * (Stats.snapshot -> int)) list =
+  [
+    ( "annotation_actions",
+      (fun t -> t.Stats.annotation_actions <- t.Stats.annotation_actions + 1),
+      fun s -> s.Stats.s_annotation_actions );
+    ( "fn_entry",
+      (fun t -> t.Stats.fn_entry <- t.Stats.fn_entry + 1),
+      fun s -> s.Stats.s_fn_entry );
+    ( "fn_exit",
+      (fun t -> t.Stats.fn_exit <- t.Stats.fn_exit + 1),
+      fun s -> s.Stats.s_fn_exit );
+    ( "mem_write_checks",
+      (fun t -> t.Stats.mem_write_checks <- t.Stats.mem_write_checks + 1),
+      fun s -> s.Stats.s_mem_write_checks );
+    ( "mod_indcall_checks",
+      (fun t -> t.Stats.mod_indcall_checks <- t.Stats.mod_indcall_checks + 1),
+      fun s -> s.Stats.s_mod_indcall_checks );
+    ( "kernel_indcall_all",
+      (fun t -> t.Stats.kernel_indcall_all <- t.Stats.kernel_indcall_all + 1),
+      fun s -> s.Stats.s_kernel_indcall_all );
+    ( "kernel_indcall_checked",
+      (fun t -> t.Stats.kernel_indcall_checked <- t.Stats.kernel_indcall_checked + 1),
+      fun s -> s.Stats.s_kernel_indcall_checked );
+    ( "kernel_indcall_elided",
+      (fun t -> t.Stats.kernel_indcall_elided <- t.Stats.kernel_indcall_elided + 1),
+      fun s -> s.Stats.s_kernel_indcall_elided );
+    ( "caps_granted",
+      (fun t -> t.Stats.caps_granted <- t.Stats.caps_granted + 1),
+      fun s -> s.Stats.s_caps_granted );
+    ( "caps_revoked",
+      (fun t -> t.Stats.caps_revoked <- t.Stats.caps_revoked + 1),
+      fun s -> s.Stats.s_caps_revoked );
+    ( "principal_switches",
+      (fun t -> t.Stats.principal_switches <- t.Stats.principal_switches + 1),
+      fun s -> s.Stats.s_principal_switches );
+    ( "violations",
+      (fun t -> Stats.note_violation t "prop"),
+      fun s -> s.Stats.s_violations );
+    ( "quarantines",
+      (fun t -> t.Stats.quarantines <- t.Stats.quarantines + 1),
+      fun s -> s.Stats.s_quarantines );
+    ( "escalations",
+      (fun t -> t.Stats.escalations <- t.Stats.escalations + 1),
+      fun s -> s.Stats.s_escalations );
+    ( "watchdog_expiries",
+      (fun t -> t.Stats.watchdog_expiries <- t.Stats.watchdog_expiries + 1),
+      fun s -> s.Stats.s_watchdog_expiries );
+    ( "caps_dropped",
+      (fun t -> t.Stats.caps_dropped <- t.Stats.caps_dropped + 1),
+      fun s -> s.Stats.s_caps_dropped );
+  ]
+
+let n_counters = List.length counters
+
+(* A bump plan: for each counter, a baseline count (applied before the
+   snapshot) and a delta count (applied after).  [since] must see the
+   delta alone, and the full snapshot must see baseline + delta. *)
+let arb_plan =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat "; "
+        (List.map2
+           (fun (name, _, _) (b, d) -> Printf.sprintf "%s:%d+%d" name b d)
+           counters l))
+    QCheck.Gen.(list_repeat n_counters (pair (int_bound 20) (int_bound 20)))
+
+let apply t plan pick =
+  List.iter2 (fun (_, bump, _) bd -> for _ = 1 to pick bd do bump t done) counters plan
+
+let prop_since_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"stats since = post - pre over every counter"
+    arb_plan (fun plan ->
+      let t = Stats.create () in
+      apply t plan fst;
+      let s0 = Stats.snapshot t in
+      apply t plan snd;
+      let d = Stats.since t s0 in
+      let full = Stats.snapshot t in
+      List.for_all2
+        (fun (_, _, read) (base, delta) ->
+          read d = delta && read full = base + delta)
+        counters plan)
+
+let prop_snapshot_of_fresh_is_zero =
+  QCheck.Test.make ~count:50 ~name:"stats snapshot of fresh/reset t is all-zero"
+    arb_plan (fun plan ->
+      let t = Stats.create () in
+      apply t plan fst;
+      Stats.reset t;
+      let s = Stats.snapshot t in
+      List.for_all (fun (_, _, read) -> read s = 0) counters)
+
+(* Structural coverage: the number of bump thunks above must match the
+   number of mutable int counters in Stats.t, so a newly added counter
+   cannot silently escape the round-trip property.  [pp] prints every
+   counter exactly once; count the "=<int>" groups it emits. *)
+let test_counter_coverage () =
+  let t = Stats.create () in
+  List.iter (fun (_, bump, _) -> bump t) counters;
+  let printed = Fmt.str "%a" Stats.pp t in
+  let fields =
+    (* each counter renders as "name=<digits>"; count '=' signs *)
+    String.fold_left (fun n c -> if c = '=' then n + 1 else n) 0 printed
+  in
+  Alcotest.(check int) "pp field count = covered counters" n_counters fields;
+  (* and every one of them was bumped to 1 by the loop above *)
+  let s = Stats.snapshot t in
+  List.iter
+    (fun (name, _, read) -> Alcotest.(check int) name 1 (read s))
+    counters
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_since_roundtrip; prop_snapshot_of_fresh_is_zero ]
+  in
+  Alcotest.run "stats"
+    [
+      ("roundtrip", qsuite);
+      ("coverage", [ Alcotest.test_case "every counter covered" `Quick test_counter_coverage ]);
+    ]
