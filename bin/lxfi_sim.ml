@@ -8,6 +8,7 @@
      lxfi_sim dump MODULE [--mode MODE]      instrumented MIR of a module
      lxfi_sim faultsim [--seed N]            fault-injection campaign
      lxfi_sim trace WORKLOAD [--seed N]      event trace + principal profile
+     lxfi_sim check [MODULE|--all] [--json F] static annotation + capflow check
 *)
 
 open Cmdliner
@@ -322,6 +323,61 @@ let trace_cmd =
 
 (* ---- runmod ---- *)
 
+(* ---- check ---- *)
+
+let check_cmd =
+  let module_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"MODULE"
+          ~doc:"Catalog module to check (e.g. e1000, rds, can_bcm).")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Check the whole API surface (slot registry + kernel exports) \
+                and every catalog module.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write a machine-readable report to $(docv).")
+  in
+  let broken_arg =
+    Arg.(
+      value & flag
+      & info [ "broken-demo" ]
+          ~doc:"Check a deliberately broken module instead (exit is non-zero; \
+                demonstrates what the checker rejects).")
+  in
+  let run module_name all json broken =
+    Kernel_sim.Klog.quiet ();
+    let report =
+      if broken then Workloads.Check_run.broken_demo ()
+      else if all || module_name = None then Workloads.Check_run.check_catalog ()
+      else
+        match Workloads.Check_run.check_catalog ?only:module_name () with
+        | r -> r
+        | exception Invalid_argument m ->
+            Fmt.epr "%s@." m;
+            exit 2
+    in
+    Fmt.pr "%a" Workloads.Check_run.pp report;
+    (match json with
+    | Some file ->
+        Workloads.Bench_json.write_file file (Workloads.Check_run.to_json report);
+        Fmt.pr "wrote %s@." file
+    | None -> ());
+    if Workloads.Check_run.has_errors report then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically check annotations and capability flow (lint + dataflow) \
+          without loading any module.")
+    Term.(const run $ module_arg $ all_arg $ json_arg $ broken_arg)
+
 let runmod_cmd =
   let file_arg =
     Arg.(
@@ -352,8 +408,8 @@ let runmod_cmd =
         let sys = Ksys.boot config in
         if not (Annot.Registry.mem sys.Ksys.rt.Lxfi.Runtime.registry "cli.entry") then
           ignore
-            (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:"cli.entry"
-               ~params:[] ~annot:"");
+            (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:"cli.entry"
+               ~params:[] ~annot_src:"");
         match Ksys.load sys prog with
         | exception Lxfi.Loader.Load_error e ->
             Fmt.epr "load error: %s@." e;
@@ -410,4 +466,5 @@ let () =
             faultsim_cmd;
             trace_cmd;
             runmod_cmd;
+            check_cmd;
           ]))

@@ -13,7 +13,7 @@ let say fmt = Format.printf (fmt ^^ "@.")
 
 let show_annot s =
   match Annot.Parser.parse s with
-  | Error e -> say "  %-60s PARSE ERROR: %s" s e
+  | Error e -> say "  %-60s PARSE ERROR: %s" s (Annot.Parser.error_to_string e)
   | Ok t ->
       say "  input:     %s" s;
       say "  canonical: %s" (Annot.Ast.to_string t);

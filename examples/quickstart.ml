@@ -66,8 +66,8 @@ let () =
   say "Booting the simulated kernel with full LXFI enforcement...";
   let sys = Ksys.boot Lxfi.Config.lxfi in
   ignore
-    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
-       ~params:[ "n" ] ~annot:"");
+    (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
+       ~params:[ "n" ] ~annot_src:"");
 
   say "Loading hello_mod (rewriter inserts guards, loader grants initial caps)...";
   let mi, report = Ksys.load sys good_module in
@@ -95,8 +95,8 @@ let () =
   say "Same attack on a stock kernel:";
   let sys = Ksys.boot Lxfi.Config.stock in
   ignore
-    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
-       ~params:[ "n" ] ~annot:"");
+    (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
+       ~params:[ "n" ] ~annot_src:"");
   let kst = sys.Ksys.kst in
   let uid_addr = Task.field_addr kst.Kstate.types kst.Kstate.current "uid" in
   let emi, _ = Ksys.load sys (evil_module ~uid_addr) in

@@ -9,7 +9,12 @@
     post(if (return < 0) transfer(ref(struct pci_dev), pcidev))
     pre(transfer(skb_caps(skb)))
     pre(check(write, lock, 4))
-    v} *)
+    v}
+
+    Parse failures come back as a structured {!error} carrying the byte
+    offset and the offending token, so the static checker can point at
+    the exact spot in the annotation instead of reporting a generic
+    failure. *)
 
 open Ast
 
@@ -21,15 +26,47 @@ type token =
   | Tcomma
   | Top of string  (** ==, !=, <, <=, >, >=, +, -, *, &&, || *)
 
-exception Parse_error of string
+type error = {
+  err_msg : string;  (** what the parser expected or rejected *)
+  err_pos : int option;  (** byte offset into the annotation source *)
+  err_token : string option;  (** the offending token text, if any *)
+}
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+exception Parse_error of error
 
-let tokenize (s : string) : token list =
+let token_text = function
+  | Tident s -> s
+  | Tint n -> Int64.to_string n
+  | Tlparen -> "("
+  | Trparen -> ")"
+  | Tcomma -> ","
+  | Top o -> o
+
+let fail_at ?pos ?token fmt =
+  Format.kasprintf
+    (fun s -> raise (Parse_error { err_msg = s; err_pos = pos; err_token = token }))
+    fmt
+
+let error_to_string ?src e =
+  let where =
+    match (e.err_pos, e.err_token) with
+    | Some p, Some t -> Printf.sprintf " at offset %d (near %S)" p t
+    | Some p, None -> Printf.sprintf " at offset %d" p
+    | None, Some t -> Printf.sprintf " (near %S)" t
+    | None, None -> ""
+  in
+  match src with
+  | Some s -> Printf.sprintf "annotation %S: %s%s" s e.err_msg where
+  | None -> Printf.sprintf "%s%s" e.err_msg where
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+(* The tokenizer pairs every token with its starting byte offset. *)
+let tokenize (s : string) : (token * int) list =
   let n = String.length s in
   let toks = ref [] in
-  let emit t = toks := t :: !toks in
   let i = ref 0 in
+  let emit t = toks := (t, !i) :: !toks in
   let peek k = if !i + k < n then Some s.[!i + k] else None in
   let is_ident_char c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
@@ -49,55 +86,57 @@ let tokenize (s : string) : token list =
     else if c = '<' || c = '>' || c = '+' || c = '-' || c = '*' then
       (emit (Top (String.make 1 c)); incr i)
     else if c >= '0' && c <= '9' then begin
+      let start = !i in
       let j = ref !i in
       if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
         j := !i + 2;
         while !j < n && (is_ident_char s.[!j]) do incr j done
       end
       else while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
-      let text = String.sub s !i (!j - !i) in
+      let text = String.sub s start (!j - start) in
       (match Int64.of_string_opt text with
-      | Some v -> emit (Tint v)
-      | None -> fail "bad integer literal %S" text);
+      | Some v -> toks := (Tint v, start) :: !toks
+      | None -> fail_at ~pos:start ~token:text "bad integer literal %S" text);
       i := !j
     end
     else if is_ident_char c then begin
+      let start = !i in
       let j = ref !i in
       while !j < n && is_ident_char s.[!j] do incr j done;
-      emit (Tident (String.sub s !i (!j - !i)));
+      toks := (Tident (String.sub s start (!j - start)), start) :: !toks;
       i := !j
     end
-    else fail "unexpected character %C" c
+    else fail_at ~pos:!i ~token:(String.make 1 c) "unexpected character %C" c
   done;
   List.rev !toks
 
-type state = { mutable toks : token list }
+type state = { mutable toks : (token * int) list; src_len : int }
 
-let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
 
-let advance st = match st.toks with [] -> fail "unexpected end of annotation" | _ :: r -> st.toks <- r
+(* Error helpers that know where the parse stopped. *)
+let fail_here st fmt =
+  match st.toks with
+  | (t, p) :: _ -> fail_at ~pos:p ~token:(token_text t) fmt
+  | [] -> fail_at ~pos:st.src_len fmt
+
+let advance st =
+  match st.toks with
+  | [] -> fail_here st "unexpected end of annotation"
+  | _ :: r -> st.toks <- r
 
 let expect st t =
   match st.toks with
-  | x :: r when x = t -> st.toks <- r
-  | x :: _ ->
-      let show = function
-        | Tident s -> s
-        | Tint n -> Int64.to_string n
-        | Tlparen -> "("
-        | Trparen -> ")"
-        | Tcomma -> ","
-        | Top o -> o
-      in
-      fail "expected %s, found %s" (show t) (show x)
-  | [] -> fail "unexpected end of annotation"
+  | (x, _) :: r when x = t -> st.toks <- r
+  | (x, _) :: _ -> fail_here st "expected %s, found %s" (token_text t) (token_text x)
+  | [] -> fail_here st "expected %s, found end of annotation" (token_text t)
 
 let ident st =
   match st.toks with
-  | Tident s :: r ->
+  | (Tident s, _) :: r ->
       st.toks <- r;
       s
-  | _ -> fail "expected identifier"
+  | _ -> fail_here st "expected identifier"
 
 (* c-expr precedence climbing *)
 let rec parse_or st =
@@ -159,16 +198,16 @@ and parse_mul st =
 
 and parse_atom st =
   match st.toks with
-  | Tint n :: r ->
+  | (Tint n, _) :: r ->
       st.toks <- r;
       Cint n
-  | Top "-" :: r ->
+  | (Top "-", _) :: r ->
       st.toks <- r;
       Cneg (parse_atom st)
-  | Tident "return" :: r ->
+  | (Tident "return", _) :: r ->
       st.toks <- r;
       Creturn
-  | Tident "sizeof" :: r ->
+  | (Tident "sizeof", _) :: r ->
       st.toks <- r;
       expect st Tlparen;
       (match ident st with
@@ -176,16 +215,16 @@ and parse_atom st =
           let s = ident st in
           expect st Trparen;
           Csizeof s
-      | other -> fail "sizeof expects 'struct <name>', got %s" other)
-  | Tident x :: r ->
+      | other -> fail_here st "sizeof expects 'struct <name>', got %s" other)
+  | (Tident x, _) :: r ->
       st.toks <- r;
       Cparam x
-  | Tlparen :: r ->
+  | (Tlparen, _) :: r ->
       st.toks <- r;
       let e = parse_or st in
       expect st Trparen;
       e
-  | _ -> fail "expected expression"
+  | _ -> fail_here st "expected expression"
 
 let parse_captype st name =
   match name with
@@ -201,12 +240,12 @@ let parse_captype st name =
       | (* allow special (non-struct) REF types per Guideline 3 *) other ->
           expect st Trparen;
           Ref other)
-  | other -> fail "unknown capability type %s" other
+  | other -> fail_here st "unknown capability type %s" other
 
 (* caplist — already inside the enclosing parens of copy/transfer/check *)
 let parse_caplist st =
   match st.toks with
-  | Tident (("write" | "call" | "ref") as ct) :: r ->
+  | (Tident (("write" | "call" | "ref") as ct), _) :: r ->
       st.toks <- r;
       let c = parse_captype st ct in
       expect st Tcomma;
@@ -219,7 +258,7 @@ let parse_caplist st =
         | _ -> None
       in
       Inline (c, ptr, size)
-  | Tident iter :: r ->
+  | (Tident iter, _) :: r ->
       st.toks <- r;
       expect st Tlparen;
       let rec args acc =
@@ -238,60 +277,60 @@ let parse_caplist st =
                 List.rev (e :: acc))
       in
       Iter (iter, args [])
-  | _ -> fail "expected capability list"
+  | _ -> fail_here st "expected capability list"
 
 let rec parse_action st =
   match st.toks with
-  | Tident "copy" :: r ->
+  | (Tident "copy", _) :: r ->
       st.toks <- r;
       expect st Tlparen;
       let cl = parse_caplist st in
       expect st Trparen;
       Copy cl
-  | Tident "transfer" :: r ->
+  | (Tident "transfer", _) :: r ->
       st.toks <- r;
       expect st Tlparen;
       let cl = parse_caplist st in
       expect st Trparen;
       Transfer cl
-  | Tident "check" :: r ->
+  | (Tident "check", _) :: r ->
       st.toks <- r;
       expect st Tlparen;
       let cl = parse_caplist st in
       expect st Trparen;
       Check cl
-  | Tident "if" :: r ->
+  | (Tident "if", _) :: r ->
       st.toks <- r;
       expect st Tlparen;
       let c = parse_or st in
       expect st Trparen;
       let a = parse_action st in
       Cif (c, a)
-  | _ -> fail "expected action (copy/transfer/check/if)"
+  | _ -> fail_here st "expected action (copy/transfer/check/if)"
 
 let parse_clause st =
   match st.toks with
-  | Tident "pre" :: r ->
+  | (Tident "pre", _) :: r ->
       st.toks <- r;
       expect st Tlparen;
       let a = parse_action st in
       expect st Trparen;
       Pre a
-  | Tident "post" :: r ->
+  | (Tident "post", _) :: r ->
       st.toks <- r;
       expect st Tlparen;
       let a = parse_action st in
       expect st Trparen;
       Post a
-  | Tident "principal" :: r -> (
+  | (Tident "principal", _) :: r -> (
       st.toks <- r;
       expect st Tlparen;
       match st.toks with
-      | Tident "global" :: r2 ->
+      | (Tident "global", _) :: r2 ->
           st.toks <- r2;
           expect st Trparen;
           Principal Pglobal
-      | Tident "shared" :: r2 ->
+      | (Tident "shared", _) :: r2 ->
           st.toks <- r2;
           expect st Trparen;
           Principal Pshared
@@ -299,17 +338,17 @@ let parse_clause st =
           let e = parse_or st in
           expect st Trparen;
           Principal (Pexpr e))
-  | _ -> fail "expected clause (pre/post/principal)"
+  | _ -> fail_here st "expected clause (pre/post/principal)"
 
 (** [parse s] parses a whitespace-separated sequence of clauses. *)
-let parse (s : string) : (t, string) result =
+let parse (s : string) : (t, error) result =
   try
-    let st = { toks = tokenize s } in
+    let st = { toks = tokenize s; src_len = String.length s } in
     let rec clauses acc =
       match st.toks with [] -> List.rev acc | _ -> clauses (parse_clause st :: acc)
     in
     Ok (clauses [])
-  with Parse_error msg -> Error (Printf.sprintf "annotation %S: %s" s msg)
+  with Parse_error e -> Error e
 
 let parse_exn s =
-  match parse s with Ok t -> t | Error msg -> invalid_arg msg
+  match parse s with Ok t -> t | Error e -> invalid_arg (error_to_string ~src:s e)

@@ -9,8 +9,22 @@
     pre(check(write, lock, 4))
     v} *)
 
-exception Parse_error of string
+type error = {
+  err_msg : string;  (** what the parser expected or rejected *)
+  err_pos : int option;  (** byte offset into the annotation source *)
+  err_token : string option;  (** the offending token text, if any *)
+}
 
-val parse : string -> (Ast.t, string) result
+exception Parse_error of error
+(** Raised internally; [parse] catches it and returns [Error]. *)
+
+val error_to_string : ?src:string -> error -> string
+(** Render an error, optionally prefixed with the annotation source it
+    came from: [annotation "...": expected ( at offset 12 (near ",")]. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.t, error) result
+
 val parse_exn : string -> Ast.t
-(** Raises [Invalid_argument] with the parse error. *)
+(** Raises [Invalid_argument] with the rendered parse error. *)

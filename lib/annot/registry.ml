@@ -21,21 +21,52 @@ let create () = { slots = Hashtbl.create 64 }
 
 exception Unknown_slot of string
 
-(** [define t ~name ~params ~annot] parses and registers a slot type.
-    Raises [Invalid_argument] on parse errors or duplicates. *)
-let define t ~name ~params ~annot =
-  if Hashtbl.mem t.slots name then
-    invalid_arg (Printf.sprintf "Registry.define: duplicate slot type %s" name);
-  let a = Parser.parse_exn annot in
-  (match Ast.validate ~params a with
-  | Ok () -> ()
-  | Error msg ->
-      invalid_arg (Printf.sprintf "Registry.define %s: invalid annotation: %s" name msg));
-  let s =
-    { sl_name = name; sl_params = params; sl_annot = a; sl_ahash = Hash.of_annot ~params a }
-  in
-  Hashtbl.replace t.slots name s;
-  s
+type error =
+  | Duplicate of string  (** slot-type name already defined *)
+  | Parse of { name : string; src : string; err : Parser.error }
+      (** the [~annot_src] convenience form failed to parse *)
+  | Invalid of { name : string; msg : string }
+      (** parsed, but [Ast.validate] rejected it against the params *)
+
+let error_to_string = function
+  | Duplicate name -> Printf.sprintf "duplicate slot type %s" name
+  | Parse { name; src; err } ->
+      Printf.sprintf "%s: %s" name (Parser.error_to_string ~src err)
+  | Invalid { name; msg } -> Printf.sprintf "%s: invalid annotation: %s" name msg
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "Registry.define: %s" (error_to_string e))
+
+(** [define t ~name ~params ~annot] registers an already-parsed slot
+    type; validation against [params] still runs so a slot in the
+    registry is always internally consistent. *)
+let define t ~name ~params ~annot : (slot, error) result =
+  if Hashtbl.mem t.slots name then Error (Duplicate name)
+  else
+    match Ast.validate ~params annot with
+    | Error msg -> Error (Invalid { name; msg })
+    | Ok () ->
+        let s =
+          {
+            sl_name = name;
+            sl_params = params;
+            sl_annot = annot;
+            sl_ahash = Hash.of_annot ~params annot;
+          }
+        in
+        Hashtbl.replace t.slots name s;
+        Ok s
+
+(** Thin convenience that parses [annot_src] first. *)
+let define_src t ~name ~params ~annot_src : (slot, error) result =
+  match Parser.parse annot_src with
+  | Error err -> Error (Parse { name; src = annot_src; err })
+  | Ok annot -> define t ~name ~params ~annot
+
+let define_exn t ~name ~params ~annot_src = ok_exn (define_src t ~name ~params ~annot_src)
 
 let find t name =
   match Hashtbl.find_opt t.slots name with

@@ -16,9 +16,32 @@ val create : unit -> t
 
 exception Unknown_slot of string
 
-val define : t -> name:string -> params:string list -> annot:string -> slot
-(** Parse and register; raises [Invalid_argument] on parse errors or
-    duplicates. *)
+type error =
+  | Duplicate of string  (** slot-type name already defined *)
+  | Parse of { name : string; src : string; err : Parser.error }
+      (** the [~annot_src] convenience form failed to parse *)
+  | Invalid of { name : string; msg : string }
+      (** parsed, but [Ast.validate] rejected it against the params *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val ok_exn : ('a, error) result -> 'a
+(** Unwrap, raising [Invalid_argument] with the rendered error — for
+    boot-time registration code where a bad built-in annotation is a
+    programming bug. *)
+
+val define : t -> name:string -> params:string list -> annot:Ast.t -> (slot, error) result
+(** Register an already-parsed annotation.  Still validates against
+    [params] (unknown parameter names, [return] in pre clauses) so
+    every slot in the registry is internally consistent. *)
+
+val define_src :
+  t -> name:string -> params:string list -> annot_src:string -> (slot, error) result
+(** Convenience wrapper that parses [annot_src] first. *)
+
+val define_exn : t -> name:string -> params:string list -> annot_src:string -> slot
+(** [define_src] + [ok_exn]. *)
 
 val find : t -> string -> slot
 val find_opt : t -> string -> slot option

@@ -1,0 +1,50 @@
+(** The checker façade: run the annotation lint over every registered
+    interface and the capability-flow pass over module MIR, and
+    summarise the findings.
+
+    This is the load-time verifier move of the SFI lineage (Wahbe et
+    al.'s verifier, XFI's two-phase checker) applied to LXFI's trusted
+    input: the annotations themselves.  See DESIGN.md, "Static
+    checking". *)
+
+type summary = {
+  findings : Finding.t list;  (** sorted: errors first *)
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+let summarize findings =
+  let findings = Finding.sort findings in
+  {
+    findings;
+    errors = Finding.count_severity findings Diag.Error;
+    warnings = Finding.count_severity findings Diag.Warning;
+    infos = Finding.count_severity findings Diag.Info;
+  }
+
+(** Lint every slot type in the registry. *)
+let check_registry (env : Env.t) : Finding.t list =
+  List.concat_map (Lint.slot_findings env) (Annot.Registry.all env.Env.registry)
+
+(** Lint every annotated kernel export. *)
+let check_kexports (env : Env.t) : Finding.t list =
+  env.Env.kexports
+  |> List.sort (fun a b -> compare a.Env.kx_name b.Env.kx_name)
+  |> List.concat_map (Lint.kexport_findings env)
+
+(** The whole declared API surface: registry + kexports. *)
+let check_interfaces env = check_registry env @ check_kexports env
+
+(** One module's MIR against its propagated slot types. *)
+let check_module = Capflow.check_module
+
+let ok summary = summary.errors = 0
+
+let pp_summary ppf s =
+  List.iter (fun f -> Fmt.pf ppf "%a@." Finding.pp f) s.findings;
+  Fmt.pf ppf "%d error%s, %d warning%s, %d info@." s.errors
+    (if s.errors = 1 then "" else "s")
+    s.warnings
+    (if s.warnings = 1 then "" else "s")
+    s.infos

@@ -1,0 +1,232 @@
+(** Annotation lint: static rules over a single annotation set.
+
+    The paper's whole security argument rests on the hand-written
+    interface annotations being right (§6; §7 lists a wrong annotation
+    as the way a module's authority silently widens), yet annotations
+    are only exercised at runtime — when a guard fires, or worse,
+    doesn't.  These rules catch the mistakes that are decidable from
+    the annotation text alone:
+
+    - ["unknown-param"] (error): a [Cparam] name not in the declared
+      parameter list — evaluation raises at every call;
+    - ["return-in-pre"] (error): [return] referenced outside a post
+      clause — same;
+    - ["unknown-iterator"] (error): an [Iter] name with no registered
+      capability iterator — same;
+    - ["sizeof-unknown-struct"] (error): [sizeof(struct s)] for an
+      unregistered struct — [Ktypes.sizeof] raises at evaluation;
+    - ["write-size-defaulted"] (warning): a WRITE capability with no
+      size expression silently defaults to 8 bytes, which is almost
+      never the author's intent for a struct pointer;
+    - ["unsat-guard"] (warning) / ["redundant-guard"] (info): an [if]
+      guard whose condition constant-folds to false (the action is
+      dead) or true (the guard is noise);
+    - ["duplicate-clause"] / ["duplicate-guard"] (warning): the same
+      clause registered twice, or the same condition repeated in a
+      nested guard chain;
+    - ["transfer-then-use"] (error/warning, kexports only): a
+      [pre(transfer(...))] revokes the capability from the calling
+      module, yet a later pre clause of the same annotation references
+      the same capability — the ownership check on that later clause is
+      then guaranteed (unconditional) or liable (conditional) to fail. *)
+
+open Annot.Ast
+
+type ctx = {
+  env : Env.t;
+  what : string;  (** location label, e.g. ["slot proto_ops.bind"] *)
+  params : string list;
+  kexport : bool;  (** module→kernel direction (callers lose transfers) *)
+  mutable acc : Finding.t list;
+}
+
+let emit ctx ~rule sev fmt =
+  Format.kasprintf
+    (fun msg ->
+      ctx.acc <-
+        Finding.make ~rule ~location:ctx.what ~source:"check.lint" sev "%s" msg
+        :: ctx.acc)
+    fmt
+
+let rec cexpr_check ctx ~allow_return = function
+  | Cint _ -> ()
+  | Cparam p ->
+      if not (List.mem p ctx.params) then
+        emit ctx ~rule:"unknown-param" Diag.Error
+          "references unknown parameter %s (declared: %s)" p
+          (match ctx.params with [] -> "none" | ps -> String.concat ", " ps)
+  | Creturn ->
+      if not allow_return then
+        emit ctx ~rule:"return-in-pre" Diag.Error
+          "references the return value outside a post clause"
+  | Cneg e -> cexpr_check ctx ~allow_return e
+  | Csizeof s ->
+      if not (Kernel_sim.Ktypes.mem ctx.env.Env.types s) then
+        emit ctx ~rule:"sizeof-unknown-struct" Diag.Error
+          "sizeof(struct %s): struct is not registered, so evaluation raises at runtime"
+          s
+  | Cbin (_, a, b) ->
+      cexpr_check ctx ~allow_return a;
+      cexpr_check ctx ~allow_return b
+
+let caplist_check ctx ~allow_return = function
+  | Inline (ct, p, s) -> (
+      cexpr_check ctx ~allow_return p;
+      (match s with Some e -> cexpr_check ctx ~allow_return e | None -> ());
+      match (ct, s) with
+      | Write, None ->
+          emit ctx ~rule:"write-size-defaulted" Diag.Warning
+            "WRITE capability on %s has no size expression and silently defaults \
+             to 8 bytes"
+            (cexpr_to_string p)
+      | _ -> ())
+  | Iter (name, args) ->
+      List.iter (cexpr_check ctx ~allow_return) args;
+      if not (ctx.env.Env.iterator_exists name) then
+        emit ctx ~rule:"unknown-iterator" Diag.Error
+          "capability iterator %s is not registered, so evaluation raises at runtime"
+          name
+
+(* Constant folding over the annotation expression language: params and
+   the return value are unknown; registered struct sizes are static. *)
+let rec cfold types = function
+  | Cint n -> Some n
+  | Cparam _ | Creturn -> None
+  | Cneg e -> Option.map Int64.neg (cfold types e)
+  | Csizeof s ->
+      if Kernel_sim.Ktypes.mem types s then
+        Some (Int64.of_int (Kernel_sim.Ktypes.sizeof types s))
+      else None
+  | Cbin (op, a, b) -> (
+      match (cfold types a, cfold types b) with
+      | Some va, Some vb ->
+          let bool_ x = if x then 1L else 0L in
+          Some
+            (match op with
+            | Oeq -> bool_ (Int64.equal va vb)
+            | One -> bool_ (not (Int64.equal va vb))
+            | Olt -> bool_ (Int64.compare va vb < 0)
+            | Ole -> bool_ (Int64.compare va vb <= 0)
+            | Ogt -> bool_ (Int64.compare va vb > 0)
+            | Oge -> bool_ (Int64.compare va vb >= 0)
+            | Oadd -> Int64.add va vb
+            | Osub -> Int64.sub va vb
+            | Omul -> Int64.mul va vb
+            | Oand -> bool_ (va <> 0L && vb <> 0L)
+            | Oor -> bool_ (va <> 0L || vb <> 0L))
+      | _ -> None)
+
+let rec action_check ctx ~allow_return = function
+  | Copy cl | Transfer cl | Check cl -> caplist_check ctx ~allow_return cl
+  | Cif (c, a) ->
+      cexpr_check ctx ~allow_return c;
+      (match cfold ctx.env.Env.types c with
+      | Some 0L ->
+          emit ctx ~rule:"unsat-guard" Diag.Warning
+            "if-guard (%s) is always false; the guarded action is dead"
+            (cexpr_to_string c)
+      | Some _ ->
+          emit ctx ~rule:"redundant-guard" Diag.Info
+            "if-guard (%s) is always true; the guard is redundant"
+            (cexpr_to_string c)
+      | None -> ());
+      action_check ctx ~allow_return a
+
+(* The same condition repeated along one nested if-guard chain. *)
+let rec nested_guard_dup ctx seen = function
+  | Cif (c, a) ->
+      let s = cexpr_to_string c in
+      if List.mem s seen then
+        emit ctx ~rule:"duplicate-guard" Diag.Warning
+          "condition (%s) repeated in nested if-guards" s;
+      nested_guard_dup ctx (s :: seen) a
+  | Copy _ | Transfer _ | Check _ -> ()
+
+let dup_clause_check ctx (t : t) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun cl ->
+      let s = clause_to_string cl in
+      if Hashtbl.mem seen s then
+        emit ctx ~rule:"duplicate-clause" Diag.Warning "duplicate clause %s" s
+      else Hashtbl.add seen s ())
+    t
+
+(* --- transfer-then-use (kexport / module→kernel direction) ---
+
+   A pre(transfer(cap)) means the wrapper checks the caller owns [cap]
+   and then revokes it from everyone.  Any later pre clause of the same
+   annotation that references the same capability expression performs
+   an ownership check against a capability the caller has provably just
+   lost. *)
+
+let caplist_keys = function
+  | Inline (_, p, _) -> [ cexpr_to_string p ]
+  | Iter (_, args) -> List.map cexpr_to_string args
+
+(* The leaf caplist of an action, with whether any guard wraps it. *)
+let rec leaf_of = function
+  | Copy cl -> (`Copy, cl, false)
+  | Transfer cl -> (`Transfer, cl, false)
+  | Check cl -> (`Check, cl, false)
+  | Cif (_, a) ->
+      let k, cl, _ = leaf_of a in
+      (k, cl, true)
+
+let transfer_then_use ctx (t : t) =
+  let transferred = Hashtbl.create 4 (* key -> conditional? *) in
+  List.iter
+    (fun a ->
+      let _, cl, conditional = leaf_of a in
+      let keys = caplist_keys cl in
+      List.iter
+        (fun k ->
+          match Hashtbl.find_opt transferred k with
+          | None -> ()
+          | Some was_conditional ->
+              let sev =
+                if was_conditional || conditional then Diag.Warning else Diag.Error
+              in
+              emit ctx ~rule:"transfer-then-use" sev
+                "pre clause references %s after an earlier pre(transfer) revoked \
+                 it from the caller — the ownership check cannot succeed"
+                k)
+        keys;
+      match leaf_of a with
+      | `Transfer, cl, conditional ->
+          List.iter
+            (fun k ->
+              match Hashtbl.find_opt transferred k with
+              | Some false -> ()  (* already unconditionally transferred *)
+              | _ -> Hashtbl.replace transferred k conditional)
+            (caplist_keys cl)
+      | (`Copy | `Check), _, _ -> ())
+    (pre_actions t)
+
+let annot_findings env ~what ~kexport ~params (t : t) : Finding.t list =
+  let ctx = { env; what; params; kexport; acc = [] } in
+  List.iter
+    (fun cl ->
+      match cl with
+      | Pre a ->
+          action_check ctx ~allow_return:false a;
+          nested_guard_dup ctx [] a
+      | Post a ->
+          action_check ctx ~allow_return:true a;
+          nested_guard_dup ctx [] a
+      | Principal (Pexpr e) -> cexpr_check ctx ~allow_return:false e
+      | Principal (Pglobal | Pshared) -> ())
+    t;
+  dup_clause_check ctx t;
+  if kexport then transfer_then_use ctx t;
+  List.rev ctx.acc
+
+let slot_findings env (s : Annot.Registry.slot) =
+  annot_findings env
+    ~what:("slot " ^ s.Annot.Registry.sl_name)
+    ~kexport:false ~params:s.Annot.Registry.sl_params s.Annot.Registry.sl_annot
+
+let kexport_findings env (k : Env.kexport_decl) =
+  annot_findings env
+    ~what:("kexport " ^ k.Env.kx_name)
+    ~kexport:true ~params:k.Env.kx_params k.Env.kx_annot

@@ -1,0 +1,66 @@
+(** Structured diagnostics shared by the static checker, the runtime,
+    and the containment machinery.
+
+    Before this module existed the simulator had three ad-hoc
+    diagnostic channels: [Klog] formatted strings, [Violation.info]
+    records, and [Runtime.quarantine_log] [(who, reason)] string pairs.
+    A [Diag.t] carries the same information in one shape — severity,
+    source subsystem, the principal involved (if any), a source
+    location, and a human-readable message — so the CLI, the JSON
+    reports, and the logs all render the same record instead of three
+    different ones. *)
+
+type severity = Error | Warning | Info | Debug
+
+type t = {
+  d_severity : severity;
+  d_source : string;
+      (** emitting subsystem, dotted: ["check.lint"], ["check.capflow"],
+          ["runtime.violation"], ["runtime.quarantine"], ... *)
+  d_principal : string option;  (** principal involved, if any *)
+  d_location : string option;
+      (** where: ["slot proto_ops.bind"], ["rds/rds_sendmsg"], ... *)
+  d_message : string;
+}
+
+let make ?principal ?location ~source severity message =
+  {
+    d_severity = severity;
+    d_source = source;
+    d_principal = principal;
+    d_location = location;
+    d_message = message;
+  }
+
+let makef ?principal ?location ~source severity fmt =
+  Format.kasprintf (make ?principal ?location ~source severity) fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let severity_of_name = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+(* Error < Warning < Info < Debug in declaration order, so the
+   natural polymorphic compare ranks errors most severe. *)
+let severity_compare (a : severity) (b : severity) = compare a b
+let is_error d = d.d_severity = Error
+let is_warning d = d.d_severity = Warning
+
+let count_errors ds = List.length (List.filter is_error ds)
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s]%a%a: %s" (severity_name d.d_severity) d.d_source
+    (Fmt.option (fun ppf l -> Fmt.pf ppf " %s" l))
+    d.d_location
+    (Fmt.option (fun ppf p -> Fmt.pf ppf " (principal %s)" p))
+    d.d_principal d.d_message
+
+let to_string d = Fmt.str "%a" pp d

@@ -13,6 +13,18 @@ let info fmt = Format.kasprintf (fun s -> Log.info (fun m -> m "%s" s)) fmt
 let warn fmt = Format.kasprintf (fun s -> Log.warn (fun m -> m "%s" s)) fmt
 let err fmt = Format.kasprintf (fun s -> Log.err (fun m -> m "%s" s)) fmt
 
+(** [diag d] routes a structured {!Diag.t} to the kernel log at the
+    [Logs] level matching its severity — the single funnel through
+    which the checker, the runtime, and the containment machinery
+    report. *)
+let diag (d : Diag.t) =
+  let s = Diag.to_string d in
+  match d.Diag.d_severity with
+  | Diag.Error -> err "%s" s
+  | Diag.Warning -> warn "%s" s
+  | Diag.Info -> info "%s" s
+  | Diag.Debug -> debug "%s" s
+
 (** [quiet ()] disables all kernel log output (used by benchmarks).
     Idempotent; inverse of {!verbose}. *)
 let quiet () = Logs.Src.set_level src None

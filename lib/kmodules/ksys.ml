@@ -37,8 +37,8 @@ let sizeof t s = Ktypes.sizeof (types t) s
     struct fields. *)
 
 let register_slot_types (rt : Lxfi.Runtime.t) =
-  let d name params annot =
-    ignore (Annot.Registry.define rt.Lxfi.Runtime.registry ~name ~params ~annot)
+  let d name params annot_src =
+    ignore (Annot.Registry.define_exn rt.Lxfi.Runtime.registry ~name ~params ~annot_src)
   in
   (* PCI: Figure 4 of the paper, verbatim contract. *)
   d "pci_driver.probe" [ "pcidev" ]
@@ -189,8 +189,8 @@ let arg n args =
 let register_kexports (t : t) =
   let rt = t.rt in
   let kst = t.kst in
-  let d name params annot impl =
-    ignore (Lxfi.Runtime.register_kexport rt ~name ~params ~annot impl)
+  let d name params annot_src impl =
+    ignore (Lxfi.Runtime.register_kexport_exn rt ~name ~params ~annot_src impl)
   in
   (* --- memory --- *)
   d "kmalloc" [ "size" ] "post(if (return != 0) copy(kmalloc_caps(return)))"

@@ -36,6 +36,10 @@ type t = {
   watchdog_fuel : int option;
       (** per-entry interpreter fuel budget; exhaustion becomes a
           [Watchdog_expired] violation instead of a soft-lockup oops *)
+  strict_check : bool;
+      (** refuse to load a module with error-severity static-checker
+          findings (annotation lint + capability-flow); off by default —
+          the checker is load-time only and must not perturb benchmarks *)
 }
 
 let lxfi =
@@ -48,6 +52,7 @@ let lxfi =
     escalate_threshold = 3;
     escalate_window = 1_000_000;
     watchdog_fuel = None;
+    strict_check = false;
   }
 
 let stock = { lxfi with mode = Stock }
@@ -62,4 +67,5 @@ let pp ppf t =
     t.opt_elide_safe_writes t.opt_inline_trivial
     (if t.quarantine then Printf.sprintf ",quarantine=%d/%dcyc" t.escalate_threshold t.escalate_window
      else "")
-    (match t.watchdog_fuel with Some n -> Printf.sprintf ",watchdog=%d" n | None -> "")
+    ((match t.watchdog_fuel with Some n -> Printf.sprintf ",watchdog=%d" n | None -> "")
+    ^ if t.strict_check then ",strict" else "")

@@ -30,6 +30,10 @@ type t = {
   watchdog_fuel : int option;
       (** per-entry interpreter fuel budget; exhaustion becomes a
           [Watchdog_expired] violation instead of a soft-lockup oops *)
+  strict_check : bool;
+      (** refuse to load a module with error-severity static-checker
+          findings; off in every preset (the checker is load-time only
+          and must not perturb benchmarks) *)
 }
 
 val lxfi : t

@@ -29,7 +29,7 @@ type t = {
   iv_shadow_depth : int;
   iv_current : string;  (** who is executing right now *)
   iv_stats : Stats.t;
-  iv_quarantine_log : (string * string) list;  (** (principal, reason), newest first *)
+  iv_quarantine_log : Diag.t list;  (** structured containment diagnostics, newest first *)
 }
 
 let principal_view (mi : Runtime.module_info) (p : Principal.t) =
@@ -81,9 +81,7 @@ let pp ppf (t : t) =
   Fmt.pf ppf "  writer set: %d marked lines; shadow stack depth %d@."
     t.iv_writer_set_lines t.iv_shadow_depth;
   Fmt.pf ppf "  %a@." Stats.pp t.iv_stats;
-  List.iter
-    (fun (who, reason) -> Fmt.pf ppf "  quarantined %s: %s@." who reason)
-    t.iv_quarantine_log;
+  List.iter (fun d -> Fmt.pf ppf "  %a@." Diag.pp d) t.iv_quarantine_log;
   List.iter
     (fun m ->
       Fmt.pf ppf "@.module %s (%d functions, %d globals)%s@." m.mv_name m.mv_functions

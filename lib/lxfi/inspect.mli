@@ -28,7 +28,7 @@ type t = {
   iv_shadow_depth : int;
   iv_current : string;
   iv_stats : Stats.t;
-  iv_quarantine_log : (string * string) list;  (** (principal, reason), newest first *)
+  iv_quarantine_log : Diag.t list;  (** structured containment diagnostics, newest first *)
 }
 
 val capture : Runtime.t -> t

@@ -63,6 +63,23 @@ let section_name = function
   | Mir.Ast.Rodata -> "rodata"
   | Mir.Ast.Bss -> "bss"
 
+(** [check_env rt] — the static checker's view of this runtime: slot
+    registry, struct layouts, registered iterators, annotated kernel
+    exports.  Built fresh on each call (registration may have changed). *)
+let check_env (rt : Runtime.t) : Check.Env.t =
+  Check.Env.make ~registry:rt.Runtime.registry ~types:rt.Runtime.kst.Kstate.types
+    ~iterator_exists:(Hashtbl.mem rt.Runtime.iterators)
+    ~kexports:
+      (Hashtbl.fold
+         (fun _ (ke : Runtime.kexport) acc ->
+           {
+             Check.Env.kx_name = ke.Runtime.ke_name;
+             kx_params = ke.Runtime.ke_params;
+             kx_annot = ke.Runtime.ke_annot;
+           }
+           :: acc)
+         rt.Runtime.kexports [])
+
 (** [load rt prog] instruments, lays out, and activates [prog]; returns
     the module handle and the rewriter's report. *)
 let load (rt : Runtime.t) (prog : Mir.Ast.prog) : Runtime.module_info * Rewriter.report
@@ -70,6 +87,22 @@ let load (rt : Runtime.t) (prog : Mir.Ast.prog) : Runtime.module_info * Rewriter
   let kst = rt.Runtime.kst in
   if Hashtbl.mem rt.Runtime.modules prog.Mir.Ast.pname then
     fail "module %s already loaded" prog.Mir.Ast.pname;
+  (* Strict mode: run the static checker over the pristine (pre-
+     instrumentation) MIR and refuse modules with error findings.  The
+     pass is load-time only — it charges no simulated cycles and runs
+     before any state below is allocated, so enabling it cannot perturb
+     guard counters or benchmarks. *)
+  if rt.Runtime.config.Config.strict_check then begin
+    let findings = Check.Checker.check_module (check_env rt) prog in
+    List.iter (fun f -> Klog.diag f.Check.Finding.f_diag) findings;
+    let errs = List.filter Check.Finding.is_error findings in
+    match errs with
+    | [] -> ()
+    | first :: _ ->
+        fail "module %s: static check failed with %d error(s), first: %s"
+          prog.Mir.Ast.pname (List.length errs)
+          (Check.Finding.to_string first)
+  end;
   let prog, report = Rewriter.instrument rt.Runtime.config prog in
   let mname = prog.Mir.Ast.pname in
 

@@ -22,11 +22,17 @@ val is_builtin : string -> bool
     [lxfi_check:<type>] resolve to privileged runtime builtins rather
     than kernel exports. *)
 
+val check_env : Runtime.t -> Check.Env.t
+(** The static checker's view of this runtime: slot registry, struct
+    layouts, registered iterators, annotated kernel exports. *)
+
 val load : Runtime.t -> Mir.Ast.prog -> Runtime.module_info * Rewriter.report
 (** Instrument, lay out and activate a module.  Raises {!Load_error} on
     unknown imports/slot types, conflicting annotation propagation, or
     duplicate module names; {!Rewriter.Rewrite_error} on unanalysable
-    code. *)
+    code.  Under [Config.strict_check] the static checker
+    ({!Check.Checker.check_module}) runs over the pristine MIR first and
+    error-severity findings are load errors. *)
 
 val unload : Runtime.t -> Runtime.module_info -> unit
 (** rmmod: run [module_exit] (if defined) as the shared principal, then

@@ -32,10 +32,15 @@ let quarantine_principal (rt : Runtime.t) (p : Principal.t) ~reason =
       p.Principal.quarantined <- Some reason;
       Captable.clear p.Principal.caps;
       rt.Runtime.stats.Stats.quarantines <- rt.Runtime.stats.Stats.quarantines + 1;
-      rt.Runtime.quarantine_log <-
-        (Principal.describe p, reason) :: rt.Runtime.quarantine_log;
+      let d =
+        Diag.make
+          ~principal:(Principal.describe p)
+          ~location:p.Principal.owner ~source:"runtime.quarantine" Diag.Warning
+          ("quarantined: " ^ reason)
+      in
+      rt.Runtime.quarantine_log <- d :: rt.Runtime.quarantine_log;
       if !Trace.on then Trace.emit (Trace.Quarantine (Principal.describe p, reason));
-      Klog.warn "quarantined %s: %s" (Principal.describe p) reason
+      Klog.diag d
 
 (** [escalate rt mi ~reason] — repeat offender: quarantine every
     principal of the module and retire its dispatch-table entries, so
@@ -49,7 +54,12 @@ let escalate (rt : Runtime.t) (mi : Runtime.module_info) ~reason =
       Runtime.retire_module rt mi;
       rt.Runtime.stats.Stats.escalations <- rt.Runtime.stats.Stats.escalations + 1;
       if !Trace.on then Trace.emit (Trace.Escalation (mi.Runtime.mi_name, reason));
-      Klog.warn "escalation: module %s retired (%s)" mi.Runtime.mi_name reason
+      let d =
+        Diag.make ~location:mi.Runtime.mi_name ~source:"runtime.quarantine"
+          Diag.Error ("escalation: module retired: " ^ reason)
+      in
+      rt.Runtime.quarantine_log <- d :: rt.Runtime.quarantine_log;
+      Klog.diag d
 
 (** Record a contained violation against [mi] and escalate once
     [escalate_threshold] violations land within [escalate_window]

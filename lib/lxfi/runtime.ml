@@ -83,8 +83,8 @@ type t = {
   retired : (int, string) Hashtbl.t;
       (** retired callable address -> owning module (dangling-pointer
           attribution after unload/escalation) *)
-  mutable quarantine_log : (string * string) list;
-      (** (principal description, reason), newest first *)
+  mutable quarantine_log : Diag.t list;
+      (** structured quarantine/escalation diagnostics, newest first *)
   mutable last_callee : Principal.t option;
       (** callee principal of the innermost kernel→module entry; lets
           the quarantine policy attribute faults ([Kmem.Fault]/[Oops])
@@ -173,33 +173,44 @@ let retire_module rt mi =
 (** {1 Kernel exports and capability iterators} *)
 
 (** [register_kexport rt ~name ~params ~annot impl] registers an
-    annotated kernel export.  Its annotation string is parsed once;
-    the hash participates in indirect-call matching. *)
-let register_kexport rt ~name ~params ~annot impl =
-  let a = Annot.Parser.parse_exn annot in
-  (match Annot.Ast.validate ~params a with
-  | Ok () -> ()
-  | Error msg ->
-      invalid_arg (Printf.sprintf "register_kexport %s: invalid annotation: %s" name msg));
-  let addr = Ksym.intern rt.kst.Kstate.sym name in
-  let ke =
-    {
-      ke_name = name;
-      ke_addr = addr;
-      ke_params = params;
-      ke_annot = a;
-      ke_ahash = Annot.Hash.of_annot ~params a;
-      ke_impl = impl;
-    }
-  in
-  Hashtbl.replace rt.kexports name ke;
-  Hashtbl.replace rt.kexport_by_addr addr ke;
-  Hashtbl.replace rt.func_ahash_by_addr addr ke.ke_ahash;
-  (* Kernel exports are also raw-callable through the kernel's own
-     dispatch table (stock kernels call them without wrappers). *)
-  Kstate.register_target rt.kst ~name ~addr ~kind:Kstate.Kernel_fn (fun args ->
-      ke.ke_impl args);
-  ke
+    annotated kernel export from an already-parsed annotation; the
+    hash participates in indirect-call matching.  Validation against
+    [params] still runs, so a registered export is always internally
+    consistent ([Error] is {!Annot.Registry.Invalid} otherwise). *)
+let register_kexport rt ~name ~params ~annot impl :
+    (kexport, Annot.Registry.error) result =
+  match Annot.Ast.validate ~params annot with
+  | Error msg -> Error (Annot.Registry.Invalid { name; msg })
+  | Ok () ->
+      let addr = Ksym.intern rt.kst.Kstate.sym name in
+      let ke =
+        {
+          ke_name = name;
+          ke_addr = addr;
+          ke_params = params;
+          ke_annot = annot;
+          ke_ahash = Annot.Hash.of_annot ~params annot;
+          ke_impl = impl;
+        }
+      in
+      Hashtbl.replace rt.kexports name ke;
+      Hashtbl.replace rt.kexport_by_addr addr ke;
+      Hashtbl.replace rt.func_ahash_by_addr addr ke.ke_ahash;
+      (* Kernel exports are also raw-callable through the kernel's own
+         dispatch table (stock kernels call them without wrappers). *)
+      Kstate.register_target rt.kst ~name ~addr ~kind:Kstate.Kernel_fn (fun args ->
+          ke.ke_impl args);
+      Ok ke
+
+(** Thin convenience that parses the annotation source first. *)
+let register_kexport_src rt ~name ~params ~annot_src impl :
+    (kexport, Annot.Registry.error) result =
+  match Annot.Parser.parse annot_src with
+  | Error err -> Error (Annot.Registry.Parse { name; src = annot_src; err })
+  | Ok annot -> register_kexport rt ~name ~params ~annot impl
+
+let register_kexport_exn rt ~name ~params ~annot_src impl =
+  Annot.Registry.ok_exn (register_kexport_src rt ~name ~params ~annot_src impl)
 
 let register_iterator rt ~name fn = Hashtbl.replace rt.iterators name fn
 

@@ -79,8 +79,8 @@ type t = {
   retired : (int, string) Hashtbl.t;
       (** retired callable address -> owning module (dangling-pointer
           attribution after unload/escalation) *)
-  mutable quarantine_log : (string * string) list;
-      (** (principal description, reason), newest first *)
+  mutable quarantine_log : Diag.t list;
+      (** structured quarantine/escalation diagnostics, newest first *)
   mutable last_callee : Principal.t option;
       (** callee principal of the innermost kernel→module entry, for
           attributing faults that carry no principal *)
@@ -117,12 +117,32 @@ val register_kexport :
   t ->
   name:string ->
   params:string list ->
-  annot:string ->
+  annot:Annot.Ast.t ->
+  (int64 list -> int64) ->
+  (kexport, Annot.Registry.error) result
+(** Register an annotated kernel export from an already-parsed
+    annotation.  Validates against [params] and hashes the canonical
+    form; [Error] carries the structured reason. *)
+
+val register_kexport_src :
+  t ->
+  name:string ->
+  params:string list ->
+  annot_src:string ->
+  (int64 list -> int64) ->
+  (kexport, Annot.Registry.error) result
+(** Convenience wrapper that parses [annot_src] first. *)
+
+val register_kexport_exn :
+  t ->
+  name:string ->
+  params:string list ->
+  annot_src:string ->
   (int64 list -> int64) ->
   kexport
-(** Register an annotated kernel export; the annotation string is
-    parsed ({!Annot.Parser}) and hashed.  Raises [Invalid_argument] on
-    a malformed annotation. *)
+(** [register_kexport_src] + {!Annot.Registry.ok_exn} — for boot-time
+    registration where a bad built-in annotation is a programming
+    bug. *)
 
 val register_iterator :
   t -> name:string -> (t -> int64 list -> Capability.t list) -> unit

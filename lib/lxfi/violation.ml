@@ -41,17 +41,26 @@ let origin ?principal ?where () =
   let w = match where with Some w -> " at " ^ w | None -> "" in
   p ^ w
 
+(** A violation as a structured diagnostic — the record the runtime
+    shares with the static checker's findings and the quarantine log. *)
+let to_diag (i : info) : Diag.t =
+  Diag.make
+    ?principal:(Option.map Principal.describe i.v_principal)
+    ~location:
+      (match i.v_where with None -> i.v_module | Some w -> i.v_module ^ "/" ^ w)
+    ~source:"runtime.violation" Diag.Error
+    (Printf.sprintf "[%s] %s" (kind_name i.v_kind) i.v_detail)
+
 let raise_ ?principal ?where ~kind ~module_ fmt =
   Format.kasprintf
     (fun detail ->
       if !Trace.on then Trace.emit (Trace.Violation (kind_name kind, module_));
-      Kernel_sim.Klog.warn "LXFI violation [%s] in %s%s: %s" (kind_name kind) module_
-        (origin ?principal ?where ())
-        detail;
-      raise
-        (Violation
-           { v_kind = kind; v_module = module_; v_principal = principal;
-             v_where = where; v_detail = detail }))
+      let i =
+        { v_kind = kind; v_module = module_; v_principal = principal;
+          v_where = where; v_detail = detail }
+      in
+      Kernel_sim.Klog.diag (to_diag i);
+      raise (Violation i))
     fmt
 
 let pp ppf i =

@@ -26,6 +26,11 @@ type info = {
 
 exception Violation of info
 
+val to_diag : info -> Diag.t
+(** The violation as a structured diagnostic (severity [Error], source
+    ["runtime.violation"]) — the same record shape the static checker
+    and the quarantine log use. *)
+
 val raise_ :
   ?principal:Principal.t ->
   ?where:string ->

@@ -1,0 +1,34 @@
+(** Driver for the static checker over the shipped system: what
+    [lxfi_sim check] and the CI check job run. *)
+
+type report = {
+  r_scope : string;  (** "catalog", a module name, or "broken-demo" *)
+  r_interface : Check.Finding.t list;
+      (** registry + kexport lint findings ([--all] only) *)
+  r_modules : (string * Check.Finding.t list) list;
+      (** per-module capability-flow findings *)
+  r_summary : Check.Checker.summary;  (** all findings, sorted *)
+}
+
+val check_catalog : ?only:string -> unit -> report
+(** Boot, build the checker environment from the live runtime, and
+    check.  [only] restricts to one catalog module (capability-flow
+    only); without it the whole API surface (slot registry + kernel
+    exports) and all ten modules are checked.  Raises
+    [Invalid_argument] on an unknown module name. *)
+
+val broken_demo : unit -> report
+(** The deliberately broken module: an annotation naming a nonexistent
+    parameter (forged past definition-time validation), an unregistered
+    capability iterator, and a store through a parameter no clause
+    covers.  [has_errors] is guaranteed [true] — the acceptance test
+    that the checker rejects things. *)
+
+val has_errors : report -> bool
+(** Any error-severity findings? (The CLI exit status.) *)
+
+val to_json : report -> Bench_json.t
+(** Machine-readable report: scope, severity totals, and every finding
+    with rule, severity, location and message. *)
+
+val pp : Format.formatter -> report -> unit

@@ -92,8 +92,8 @@ let fsim_prog =
       ]
 
 let define_slots (sys : Ksys.t) =
-  let d name params annot =
-    ignore (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name ~params ~annot)
+  let d name params annot_src =
+    ignore (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name ~params ~annot_src)
   in
   d alloc_slot [ "n" ] "";
   d fill_slot [ "buf"; "n" ] "pre(copy(write, buf, sizeof(struct socket)))";

@@ -28,8 +28,8 @@ let bench_slot = "bench.entry"
 let define_bench_slot (rt : Lxfi.Runtime.t) =
   if not (Annot.Registry.mem rt.Lxfi.Runtime.registry bench_slot) then
     ignore
-      (Annot.Registry.define rt.Lxfi.Runtime.registry ~name:bench_slot ~params:[ "n" ]
-         ~annot:"")
+      (Annot.Registry.define_exn rt.Lxfi.Runtime.registry ~name:bench_slot ~params:[ "n" ]
+         ~annot_src:"")
 
 (** {1 hotlist} — membership scans over a 200-node list. *)
 

@@ -5,7 +5,7 @@ module A = Annot.Ast
 module P = Annot.Parser
 
 let parse s =
-  match P.parse s with Ok t -> t | Error e -> Alcotest.fail e
+  match P.parse s with Ok t -> t | Error e -> Alcotest.fail (P.error_to_string e)
 
 let roundtrip s =
   (* canonical print of a parse must re-parse to the same canonical
@@ -116,7 +116,7 @@ let test_accessors () =
 let test_validation () =
   let v annot params =
     match P.parse annot with
-    | Error e -> Alcotest.failf "parse failed: %s" e
+    | Error e -> Alcotest.failf "parse failed: %s" (P.error_to_string e)
     | Ok t -> A.validate ~params t
   in
   Alcotest.(check bool) "known params pass" true
@@ -131,23 +131,55 @@ let test_validation () =
     (Result.is_error (v "pre(transfer(skb_caps(nope)))" [ "skb" ]));
   Alcotest.(check bool) "unknown principal rejected" true
     (Result.is_error (v "principal(nope)" [ "dev" ]));
-  (* the registry enforces it at definition time *)
+  (* the registry enforces it at definition time, as a structured error *)
   let r = Annot.Registry.create () in
-  match Annot.Registry.define r ~name:"bad.slot" ~params:[ "a" ] ~annot:"principal(b)" with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "registry must reject invalid annotations"
+  (match Annot.Registry.define_src r ~name:"bad.slot" ~params:[ "a" ] ~annot_src:"principal(b)" with
+  | Error (Annot.Registry.Invalid { name = "bad.slot"; _ }) -> ()
+  | Error e ->
+      Alcotest.failf "wrong error kind: %s" (Annot.Registry.error_to_string e)
+  | Ok _ -> Alcotest.fail "registry must reject invalid annotations");
+  (* unparsable source is reported with the parser diagnostic attached *)
+  match Annot.Registry.define_src r ~name:"bad.syntax" ~params:[] ~annot_src:"pre(" with
+  | Error (Annot.Registry.Parse { name = "bad.syntax"; err; _ }) ->
+      Alcotest.(check bool) "parse error has a position" true (err.P.err_pos <> None)
+  | Error e -> Alcotest.failf "wrong error kind: %s" (Annot.Registry.error_to_string e)
+  | Ok _ -> Alcotest.fail "registry must reject unparsable annotations"
 
 let test_registry () =
   let r = Annot.Registry.create () in
-  let s = Annot.Registry.define r ~name:"t.f" ~params:[ "a" ] ~annot:"principal(a)" in
+  let s = Annot.Registry.define_exn r ~name:"t.f" ~params:[ "a" ] ~annot_src:"principal(a)" in
   Alcotest.(check bool) "registered" true (Annot.Registry.mem r "t.f");
   Alcotest.(check bool) "hash exposed" true
     (Int64.equal s.Annot.Registry.sl_ahash (Annot.Registry.ahash r "t.f"));
-  Alcotest.check_raises "duplicate rejected"
-    (Invalid_argument "Registry.define: duplicate slot type t.f") (fun () ->
-      ignore (Annot.Registry.define r ~name:"t.f" ~params:[ "a" ] ~annot:""));
+  (match Annot.Registry.define_src r ~name:"t.f" ~params:[ "a" ] ~annot_src:"" with
+  | Error (Annot.Registry.Duplicate "t.f") -> ()
+  | Error e -> Alcotest.failf "wrong duplicate error: %s" (Annot.Registry.error_to_string e)
+  | Ok _ -> Alcotest.fail "duplicate must be rejected");
   Alcotest.check_raises "unknown slot" (Annot.Registry.Unknown_slot "t.g") (fun () ->
       ignore (Annot.Registry.find r "t.g"))
+
+let test_error_positions () =
+  (* the parser names the offending token and where it sits *)
+  (match P.parse "pre(grant(write, p))" with
+  | Ok _ -> Alcotest.fail "grant must not parse"
+  | Error e ->
+      Alcotest.(check (option string)) "token" (Some "grant") e.P.err_token;
+      Alcotest.(check (option int)) "position" (Some 4) e.P.err_pos);
+  (match P.parse "pre(check(write, p)" with
+  | Ok _ -> Alcotest.fail "unbalanced must not parse"
+  | Error e ->
+      (* truncated input: the error points at end-of-string *)
+      Alcotest.(check (option int)) "eof position" (Some 19) e.P.err_pos);
+  match P.parse "before(check(write, p))" with
+  | Ok _ -> Alcotest.fail "unknown clause must not parse"
+  | Error e ->
+      let rendered = P.error_to_string ~src:"before(check(write, p))" e in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "rendering names the token" true (contains rendered "before")
 
 let () =
   Alcotest.run "annot"
@@ -161,6 +193,7 @@ let () =
           Alcotest.test_case "negative + hex literals" `Quick test_negative_and_hex;
           Alcotest.test_case "special ref types" `Quick test_special_ref_types;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
           Alcotest.test_case "empty annotation" `Quick test_empty_annotation;
         ] );
       ( "hash",

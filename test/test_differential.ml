@@ -114,8 +114,8 @@ let gen_prog =
 let run_under config prog input =
   let sys = Ksys.boot config in
   ignore
-    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
-       ~params:[ "n" ] ~annot:"");
+    (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
+       ~params:[ "n" ] ~annot_src:"");
   let mi, _ = Ksys.load sys prog in
   let r = Lxfi.Runtime.invoke_module_function sys.Ksys.rt mi "entry" [ input ] in
   (* also hash the final arena contents *)

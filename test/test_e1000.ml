@@ -152,8 +152,8 @@ let test_strict_skb_blocks_struct_writes () =
      write the sk_buff struct directly is refused *)
   let sys = Ksys.boot Lxfi.Config.lxfi in
   ignore
-    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
-       ~params:[ "n" ] ~annot:"");
+    (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
+       ~params:[ "n" ] ~annot_src:"");
   let open Mir.Builder in
   let skb_data_off = Ksys.off sys "sk_buff" "data" in
   let p =

@@ -13,8 +13,8 @@ let entry_slot = "bench.entry"
 let boot () =
   let sys = Ksys.boot Lxfi.Config.lxfi in
   ignore
-    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:entry_slot
-       ~params:[ "n" ] ~annot:"");
+    (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:entry_slot
+       ~params:[ "n" ] ~annot_src:"");
   sys
 
 let load sys prog = fst (Ksys.load sys prog)
@@ -147,11 +147,11 @@ let obj_slot = "bench.obj_entry"
 let qboot () =
   let sys = Ksys.boot Lxfi.Config.lxfi_quarantine in
   ignore
-    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:entry_slot
-       ~params:[ "n" ] ~annot:"");
+    (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:entry_slot
+       ~params:[ "n" ] ~annot_src:"");
   ignore
-    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:obj_slot
-       ~params:[ "obj"; "n" ] ~annot:"principal(obj)");
+    (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:obj_slot
+       ~params:[ "obj"; "n" ] ~annot_src:"principal(obj)");
   sys
 
 (* an innocent module loaded next to crashy *)

@@ -41,8 +41,8 @@ let test_data_pointer_redirection_not_caught () =
 let test_reads_unguarded () =
   let sys = Ksys.boot Lxfi.Config.lxfi in
   ignore
-    (Annot.Registry.define sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
-       ~params:[ "n" ] ~annot:"");
+    (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
+       ~params:[ "n" ] ~annot_src:"");
   let kst = sys.Ksys.kst in
   let secret = Slab.kmalloc kst.Kstate.slab 16 in
   Kmem.write_u64 kst.Kstate.mem secret 0x5ec2e7L;

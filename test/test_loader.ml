@@ -9,9 +9,9 @@ let boot ?(config = Config.lxfi) () =
   let kst = Kstate.boot () in
   let rt = Runtime.create ~kst ~config in
   ignore
-    (Annot.Registry.define rt.Runtime.registry ~name:"cb.fn" ~params:[ "x" ] ~annot:"");
+    (Annot.Registry.define_exn rt.Runtime.registry ~name:"cb.fn" ~params:[ "x" ] ~annot_src:"");
   ignore
-    (Runtime.register_kexport rt ~name:"nop" ~params:[] ~annot:"" (fun _ -> 0L));
+    (Runtime.register_kexport_exn rt ~name:"nop" ~params:[] ~annot_src:"" (fun _ -> 0L));
   Runtime.install rt;
   (kst, rt)
 
@@ -100,8 +100,8 @@ let test_propagation_from_struct_initializer () =
 let test_conflicting_annotations_rejected () =
   let kst, rt = boot () in
   ignore
-    (Annot.Registry.define rt.Runtime.registry ~name:"cb.other" ~params:[ "x" ]
-       ~annot:"principal(global)");
+    (Annot.Registry.define_exn rt.Runtime.registry ~name:"cb.other" ~params:[ "x" ]
+       ~annot_src:"principal(global)");
   ignore
     (Ktypes.define kst.Kstate.types "two_slots"
        [ ("a", 8, Ktypes.Funcptr "cb.fn"); ("b", 8, Ktypes.Funcptr "cb.other") ]);
@@ -173,7 +173,7 @@ let test_iext_initialiser_and_indirect_call () =
   let _, rt = boot () in
   let hits = ref 0 in
   ignore
-    (Runtime.register_kexport rt ~name:"poke" ~params:[] ~annot:"" (fun _ ->
+    (Runtime.register_kexport_exn rt ~name:"poke" ~params:[] ~annot_src:"" (fun _ ->
          incr hits;
          42L));
   let p =

@@ -15,7 +15,7 @@ let boot () =
   let kst = Kstate.boot () in
   let rt = Runtime.create ~kst ~config:Config.lxfi in
   ignore
-    (Runtime.register_kexport rt ~name:"kmalloc" ~params:[ "size" ] ~annot:""
+    (Runtime.register_kexport_exn rt ~name:"kmalloc" ~params:[ "size" ] ~annot_src:""
        (fun _ -> 0L));
   Runtime.install rt;
   rt

@@ -89,12 +89,19 @@ let gen_cexpr =
           oneof
             [
               map (fun i -> Annot.Ast.Cint (Int64.of_int i)) (int_bound 4096);
+              map
+                (fun i -> Annot.Ast.Cneg (Annot.Ast.Cint (Int64.of_int i)))
+                (int_bound 4096);
               oneofl
                 [
                   Annot.Ast.Cparam "p";
                   Annot.Ast.Cparam "len";
+                  Annot.Ast.Cparam "buf";
+                  Annot.Ast.Cparam "skb";
                   Annot.Ast.Creturn;
                   Annot.Ast.Csizeof "sk_buff";
+                  Annot.Ast.Csizeof "socket";
+                  Annot.Ast.Csizeof "pci_dev";
                 ];
             ]
         in
@@ -110,6 +117,7 @@ let gen_cexpr =
                      Annot.Ast.
                        [ Oeq; One; Olt; Ole; Ogt; Oge; Oadd; Osub; Omul; Oand; Oor ])
                   (self (n / 2)) (self (n / 2)) );
+              (1, map (fun e -> Annot.Ast.Cneg e) (self (n / 2)));
             ]))
 
 let gen_caplist =
@@ -118,10 +126,19 @@ let gen_caplist =
       [
         map3
           (fun ct p s -> Annot.Ast.Inline (ct, p, s))
-          (oneofl [ Annot.Ast.Write; Annot.Ast.Call; Annot.Ast.Ref "pci_dev" ])
+          (oneofl
+             [
+               Annot.Ast.Write;
+               Annot.Ast.Call;
+               Annot.Ast.Ref "pci_dev";
+               Annot.Ast.Ref "io_port";
+             ])
           gen_cexpr
           (option gen_cexpr);
         map (fun e -> Annot.Ast.Iter ("skb_caps", [ e ])) gen_cexpr;
+        map2
+          (fun a b -> Annot.Ast.Iter ("range_caps", [ a; b ]))
+          gen_cexpr gen_cexpr;
       ])
 
 let gen_action =
@@ -181,6 +198,22 @@ let prop_annot_hash_stable =
              Annot.Hash.of_annot ~params t2)
             (Annot.Hash.of_annot ~params t)
       | Error _ -> false)
+
+let prop_registry_define_consistent =
+  (* the typed registry API accepts exactly what Ast.validate accepts,
+     and on success exposes the canonical hash *)
+  QCheck.Test.make ~count:300 ~name:"Registry.define agrees with validate" arb_annot
+    (fun t ->
+      let params = [ "p"; "len"; "buf"; "skb" ] in
+      let r = Annot.Registry.create () in
+      match
+        (Annot.Registry.define r ~name:"gen.slot" ~params ~annot:t,
+         Annot.Ast.validate ~params t)
+      with
+      | Ok slot, Ok () ->
+          Int64.equal slot.Annot.Registry.sl_ahash (Annot.Hash.of_annot ~params t)
+      | Error (Annot.Registry.Invalid _), Error _ -> true
+      | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Kmem agrees with a bytes reference model.                            *)
@@ -402,6 +435,7 @@ let () =
             prop_writer_set_no_false_negatives;
             prop_annot_roundtrip;
             prop_annot_hash_stable;
+            prop_registry_define_consistent;
             prop_kmem_matches_bytes;
             prop_slab_no_overlap;
             prop_revoke_leaves_no_copies;

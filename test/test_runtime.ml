@@ -27,22 +27,22 @@ let probe_prog : Mir.Ast.prog =
 let setup ?(config = Config.lxfi) () =
   let kst, rt = boot ~config () in
   ignore
-    (Annot.Registry.define rt.Runtime.registry ~name:"test.entry" ~params:[ "arg" ]
-       ~annot:"principal(arg)");
+    (Annot.Registry.define_exn rt.Runtime.registry ~name:"test.entry" ~params:[ "arg" ]
+       ~annot_src:"principal(arg)");
   (* kzalloc_like grants WRITE for its return; take_buffer transfers a
      buffer away from the caller. *)
   let heap = ref 0x2_0100_0000 in
   ignore
-    (Runtime.register_kexport rt ~name:"kzalloc_like" ~params:[ "size" ]
-       ~annot:"post(if (return != 0) copy(write, return, size))" (fun args ->
+    (Runtime.register_kexport_exn rt ~name:"kzalloc_like" ~params:[ "size" ]
+       ~annot_src:"post(if (return != 0) copy(write, return, size))" (fun args ->
          let size = Int64.to_int (List.nth args 0) in
          let a = !heap in
          heap := !heap + ((size + 15) land lnot 15);
          Kmem.map kst.Kstate.mem ~addr:a ~len:size;
          Int64.of_int a));
   ignore
-    (Runtime.register_kexport rt ~name:"take_buffer" ~params:[ "buf"; "size" ]
-       ~annot:"pre(transfer(write, buf, size))" (fun _ -> 0L));
+    (Runtime.register_kexport_exn rt ~name:"take_buffer" ~params:[ "buf"; "size" ]
+       ~annot_src:"pre(transfer(write, buf, size))" (fun _ -> 0L));
   let mi, _ = Loader.load rt probe_prog in
   (kst, rt, mi)
 
@@ -116,8 +116,8 @@ let test_conditional_post_respects_return () =
   (* kzalloc_like with size 0 still returns nonzero here; simulate the
      conditional by a new export returning 0 *)
   ignore
-    (Runtime.register_kexport rt ~name:"failing_alloc" ~params:[ "size" ]
-       ~annot:"post(if (return != 0) copy(write, return, size))" (fun _ -> 0L));
+    (Runtime.register_kexport_exn rt ~name:"failing_alloc" ~params:[ "size" ]
+       ~annot_src:"post(if (return != 0) copy(write, return, size))" (fun _ -> 0L));
   let ke = Runtime.find_kexport rt "failing_alloc" in
   let granted0 = rt.Runtime.stats.Stats.caps_granted in
   ignore (Runtime.call_kexport rt ke [ 64L ]);
@@ -150,8 +150,8 @@ let test_kernel_indcall_hash_mismatch () =
   (* store the module's entry (hash of test.entry) into a slot of a
      DIFFERENT type: the runtime must refuse the laundering *)
   ignore
-    (Annot.Registry.define rt.Runtime.registry ~name:"test.other" ~params:[ "x" ]
-       ~annot:"principal(global)");
+    (Annot.Registry.define_exn rt.Runtime.registry ~name:"test.other" ~params:[ "x" ]
+       ~annot_src:"principal(global)");
   let data =
     match List.find_opt (fun (n, _, _) -> n = "data") mi.Runtime.mi_sections with
     | Some (_, base, _) -> base
