@@ -7,6 +7,7 @@
      lxfi_sim annotations                    the annotated kernel API
      lxfi_sim dump MODULE [--mode MODE]      instrumented MIR of a module
      lxfi_sim faultsim [--seed N]            fault-injection campaign
+     lxfi_sim fuzz [--seed N] [--runs K]     adversarial differential fuzzing
      lxfi_sim trace WORKLOAD [--seed N]      event trace + principal profile
      lxfi_sim check [MODULE|--all] [--json F] static annotation + capflow check
 *)
@@ -283,6 +284,65 @@ let faultsim_cmd =
              watchdog x netperf, can, rds).")
     Term.(const run $ seed $ trace_dir)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed; the same seed yields a byte-identical report.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 100
+      & info [ "r"; "runs" ] ~docv:"N" ~doc:"Generated clean cases per campaign.")
+  in
+  let mutants =
+    Arg.(
+      value & opt int 4
+      & info [ "m"; "mutants" ] ~docv:"M"
+          ~doc:"Attack mutants derived from each clean case (classes rotate so \
+                every class gets equal coverage).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:"Write minimized .mir repros for any divergence into $(docv).")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write a machine-readable report to $(docv).")
+  in
+  let exemplars =
+    Arg.(
+      value & flag
+      & info [ "exemplars" ]
+          ~doc:"Instead of a campaign, write one minimized detected-attack \
+                repro per mutation class (plus a clean module) into --out; \
+                this is how test/corpus is generated.")
+  in
+  let run seed runs mutants out json exemplars =
+    Kernel_sim.Klog.quiet ();
+    if exemplars then
+      match out with
+      | None ->
+          Fmt.epr "--exemplars requires --out DIR@.";
+          exit 2
+      | Some dir -> exit (Workloads.Fuzz_run.print_exemplars ~seed ~out:dir ())
+    else exit (Workloads.Fuzz_run.print ~mutants_per_case:mutants ?out ?json ~seed ~runs ())
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Run the seeded adversarial fuzz campaign: generated modules \
+             checked under the differential oracles (stock vs lxfi agreement, \
+             mutant detection by violation class, static/runtime consistency, \
+             trace reconciliation), with failing cases minimized to \
+             replayable MIR repros.")
+    Term.(const run $ seed $ runs $ mutants $ out $ json $ exemplars)
+
 (* ---- trace ---- *)
 
 let trace_cmd =
@@ -410,6 +470,14 @@ let runmod_cmd =
           ignore
             (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:"cli.entry"
                ~params:[] ~annot_src:"");
+        (* the fuzz slot types too, so corpus repros load standalone *)
+        List.iter
+          (fun (name, params, annot_src) ->
+            if not (Annot.Registry.mem sys.Ksys.rt.Lxfi.Runtime.registry name) then
+              ignore
+                (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name ~params
+                   ~annot_src))
+          Fuzz.Gen.slot_defs;
         match Ksys.load sys prog with
         | exception Lxfi.Loader.Load_error e ->
             Fmt.epr "load error: %s@." e;
@@ -464,6 +532,7 @@ let () =
             state_cmd;
             dump_cmd;
             faultsim_cmd;
+            fuzz_cmd;
             trace_cmd;
             runmod_cmd;
             check_cmd;

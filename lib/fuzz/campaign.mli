@@ -1,0 +1,50 @@
+(** Campaign driver: the deterministic loop behind [lxfi_sim fuzz].
+
+    Case [i] of a campaign draws its module and mutation schedule from
+    an {!Rng} stream seeded with [Rng.derive seed i], so the campaign
+    is reproducible case-by-case and the report for a given
+    [(seed, runs, mutants_per_case)] is byte-stable.  Every case runs
+    the full clean-oracle battery ({!Harness.clean_failure} with
+    tracing), then [mutants_per_case] labelled attack variants
+    ({!Mutate.select} / {!Harness.run_mutant}).  Divergences are
+    minimized with {!Shrink.minimize} and rendered as replayable
+    {!Corpus} repros. *)
+
+type class_stat = {
+  cs_class : Mutate.mclass;
+  mutable cs_total : int;
+  mutable cs_detected : int;  (** raised some violation *)
+  mutable cs_correct : int;  (** passed the full oracle-2/3 verdict *)
+  mutable cs_static : int;  (** flagged by the static checker *)
+}
+
+type repro = { rp_name : string; rp_text : string }
+(** A minimized, replayable counterexample ([rp_name] is a suggested
+    [.mir] file name). *)
+
+type divergence = { dv_name : string; dv_message : string }
+
+type report = {
+  r_seed : int;
+  r_runs : int;
+  r_mutants_per_case : int;
+  r_cases_ok : int;  (** cases passing all clean oracles *)
+  r_mutants_total : int;
+  r_mutants_correct : int;
+  r_stats : class_stat list;  (** one per {!Mutate.all} class, in order *)
+  r_divergences : divergence list;
+  r_repros : repro list;  (** minimized repros for the divergences *)
+}
+
+val passed : report -> bool
+(** No divergences, and every mutant passed its verdict. *)
+
+val run : ?shrink:bool -> ?mutants_per_case:int -> seed:int -> runs:int -> unit -> report
+(** Run the campaign.  [shrink] (default [true]) minimizes each
+    divergent case before rendering its repro; [mutants_per_case]
+    defaults to 4. *)
+
+val exemplars : seed:int -> repro list
+(** One minimized detected-attack repro per mutation class plus one
+    small clean module — the generator for the checked-in regression
+    corpus ([lxfi_sim fuzz --exemplars]). *)

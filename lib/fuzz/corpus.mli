@@ -1,0 +1,35 @@
+(** Replayable counterexample corpus: a repro is a printable MIR module
+    prefixed by a directive comment saying how to drive it and what
+    must happen.  Files parse as ordinary MIR (the directives live in a
+    [/* ... */] comment), so [lxfi_sim runmod] can load them too.
+
+    Directives, one per line inside the header comment:
+    - [drive: invoke FUNC ARG*] — invoke one entry
+      ([ARG] is [@canary], [@kbuf] or [@in]);
+    - [drive: invoke+kcall FUNC ARG*] — invoke, then kernel-call
+      through the module's [kslot];
+    - [expect: violation KIND] — the drive must raise exactly this
+      violation class with the canary intact;
+    - [expect: clean] — the full clean-oracle battery must pass;
+    - [inputs: N,N,...] — inputs for the clean drive (optional). *)
+
+type expect = Eviolation of Lxfi.Violation.kind | Eclean
+
+type spec = {
+  sp_drive : Mutate.drive option;  (** required for [Eviolation] *)
+  sp_inputs : int64 list;
+  sp_expect : expect;
+}
+
+val parse_spec : string -> (spec, string) result
+(** Extract the directives from a repro's source text. *)
+
+val render_mutant :
+  comment:string -> expect:Lxfi.Violation.kind -> Mutate.drive -> Mir.Ast.prog -> string
+(** Repro text for a detected-violation case ([comment] names seed /
+    case / class for humans). *)
+
+val render_clean : comment:string -> inputs:int64 list -> Mir.Ast.prog -> string
+
+val replay : src:string -> (unit, string) result
+(** Parse and re-run a repro, checking its [expect:] directive. *)

@@ -1,0 +1,203 @@
+(** Well-behaved module generator.  Design rules that keep a generated
+    module enforcement-invisible (oracle 1) by construction:
+
+    - every store lands in the module's own arena, its own vtable /
+      fp-slot globals, a kmalloc'd object it still owns, or the first
+      {!touch_grant} bytes of the buffer its [touch] annotation grants;
+    - only buffer {e contents} are folded into results and the arena,
+      never raw pointers (heap addresses are not guaranteed equal
+      across enforcement modes);
+    - loops are bounded and nesting is capped, so the worst clean entry
+      stays far under the harness watchdog budget;
+    - locked regions never nest (the simulated spinlock oopses on
+      recursion);
+    - indirect calls only ever go through the module's own vtable,
+      which only ever holds the module's own callbacks.  The separate
+      [kslot] global exists purely as a kernel-visible function-pointer
+      slot: clean code never calls through it, so mutations can corrupt
+      it without perturbing the clean drive. *)
+
+open Mir.Builder
+
+type rand = int -> int
+
+let arena_size = 256
+let touch_grant = 64
+let kbuf_size = 64
+
+let slot_defs =
+  [
+    ("fuzz.entry", [ "n" ], "");
+    ("fuzz.touch", [ "buf"; "n" ], Printf.sprintf "pre(copy(write, buf, %d))" touch_grant);
+    ("fuzz.peer", [ "who"; "n" ], "principal(who)");
+    ("fuzz.cb", [ "n" ], "");
+    ("fuzz.noop", [ "p"; "n" ], "");
+  ]
+
+let imports = [ "kmalloc"; "kfree"; "spin_lock_init"; "spin_lock"; "spin_unlock" ]
+
+type case = { c_prog : Mir.Ast.prog; c_inputs : int64 list }
+
+(* 8-aligned offset strictly inside the arena *)
+let gen_offset rand = 8 * rand (arena_size / 8)
+
+(* Sequencing through [rand] is side-effectful, so statement counts use
+   explicit recursion: no reliance on library evaluation order. *)
+let rec rep k f = if k <= 0 then [] else f () @ rep (k - 1) f
+
+let rec gen_pure rand n =
+  let leaf () =
+    match rand 5 with
+    | 0 -> ii (rand 201 - 100)
+    | 1 -> load64 (glob "arena" +: ii (gen_offset rand))
+    | 2 -> v "a"
+    | 3 -> v "b"
+    | _ ->
+        if rand 2 = 0 then load64 (glob "ro" +: ii (8 * rand 2))
+        else load64 (glob "seeded" +: ii (8 * rand 4))
+  in
+  if n <= 1 then leaf ()
+  else
+    match rand 6 with
+    | 0 | 1 -> leaf ()
+    | 2 | 3 | 4 ->
+        let op = List.nth Mir.Ast.[ Add; Sub; Mul; Band; Bor; Bxor ] (rand 6) in
+        bin op Mir.Ast.W64 (gen_pure rand (n / 2)) (gen_pure rand (n / 2))
+    | _ ->
+        let op = List.nth Mir.Ast.[ Add; Mul ] (rand 2) in
+        bin op Mir.Ast.W32 (gen_pure rand (n / 2)) (gen_pure rand (n / 2))
+
+let store_arena rand = store64 (glob "arena" +: ii (gen_offset rand)) (gen_pure rand 6)
+
+let rec gen_stmts rand ~depth n : Mir.Ast.stmt list =
+  let base () =
+    match rand 9 with
+    | 0 | 1 -> [ store_arena rand ]
+    | 2 -> [ let_ "a" (gen_pure rand 6) ]
+    | 3 -> [ let_ "b" (gen_pure rand 6) ]
+    | 4 -> [ let_ "a" (call "helper" [ gen_pure rand 4 ]) ]
+    | 5 ->
+        (* indirect call through the module's own vtable *)
+        [ let_ "b" (call_ind (load64 (glob "vtbl" +: ii (8 * rand 2))) [ gen_pure rand 3 ]) ]
+    | 6 ->
+        (* function-pointer rewrite, staying within own callbacks *)
+        let f = if rand 2 = 0 then "cb0" else "cb1" in
+        [ store64 (glob "vtbl" +: ii (8 * rand 2)) (fn f) ]
+    | 7 ->
+        (* kernel-heap round trip: kmalloc / store / read back / kfree;
+           only the contents reach the arena, never the pointer *)
+        let sz = 16 + (8 * rand 7) in
+        let off = gen_offset rand in
+        [
+          let_ "p" (call_ext "kmalloc" [ ii sz ]);
+          if_
+            (v "p" <>: ii 0)
+            [
+              store64 (v "p") (gen_pure rand 4);
+              store64 (glob "arena" +: ii off) (load64 (v "p"));
+              expr (call_ext "kfree" [ v "p" ]);
+            ]
+            [];
+        ]
+    | _ ->
+        (* non-nesting locked region *)
+        [
+          expr (call_ext "spin_lock" [ glob "lock" ]);
+          store_arena rand;
+          expr (call_ext "spin_unlock" [ glob "lock" ]);
+        ]
+  in
+  if n <= 1 || depth >= 2 then base ()
+  else
+    match rand 8 with
+    | 0 | 1 | 2 | 3 | 4 -> base ()
+    | 5 ->
+        let c = bin Mir.Ast.Band Mir.Ast.W64 (gen_pure rand 4) (ii 1) in
+        let t = gen_block rand ~depth:(depth + 1) (n / 3) (1 + rand 3) in
+        let e = gen_block rand ~depth:(depth + 1) (n / 3) (rand 3) in
+        [ if_ c t e ]
+    | 6 ->
+        let var = Printf.sprintf "i%d" depth in
+        let bound = 1 + rand 5 in
+        let body = gen_block rand ~depth:(depth + 1) (n / 3) (1 + rand 2) in
+        for_ var ~from:(ii 0) ~below:(ii bound) body
+    | _ -> base ()
+
+and gen_block rand ~depth n k = rep k (fun () -> gen_stmts rand ~depth n)
+
+let entry_body rand ~size =
+  [ let_ "a" (v "n"); let_ "b" (ii 1) ]
+  @ gen_block rand ~depth:0 size (1 + rand 10)
+  @ [
+      (* fold the arena into the result so memory divergence is
+         observable in the return value, not only in the byte dump *)
+      let_ "acc" (ii 0);
+      let_ "o" (ii 0);
+      while_
+        (v "o" <: ii arena_size)
+        [
+          let_ "acc" (v "acc" ^: load64 (glob "arena" +: v "o"));
+          let_ "o" (v "o" +: ii 8);
+        ];
+      ret (v "acc" ^: v "a" ^: v "b");
+    ]
+
+(* Stores stay inside the [touch_grant]-byte window the annotation
+   pre-copies; the final load folds buffer contents into the result. *)
+let touch_body rand =
+  rep
+    (1 + rand 3)
+    (fun () ->
+      [ store64 (v "buf" +: ii (8 * rand ((touch_grant / 8) - 1))) (v "n" +: ii (rand 64)) ])
+  @ [
+      store64 (v "buf" +: ii (touch_grant - 8)) (v "n" ^: load64 (v "buf"));
+      ret (load64 (v "buf" +: ii (8 * rand (touch_grant / 8))));
+    ]
+
+(* Runs as the instance principal named by [who]; never dereferences
+   [who] (it is a principal name, not memory the module owns). *)
+let peer_body rand =
+  let off = gen_offset rand in
+  [ let_ "a" (v "n"); let_ "b" (ii 2) ]
+  @ gen_block rand ~depth:1 3 (1 + rand 3)
+  @ [
+      store64 (glob "arena" +: ii off) (v "a" +: v "n");
+      ret (v "a" ^: load64 (glob "arena" +: ii off));
+    ]
+
+let make_prog ?(size = 8) rand =
+  let r1 = Int64.of_int (rand 1_000_000)
+  and r2 = Int64.of_int (rand 1_000_000) in
+  let s1 = Int64.of_int (rand 4096)
+  and s2 = Int64.of_int (rand 4096) in
+  prog "fuzzmod" ~imports
+    ~globals:
+      [
+        global "arena" arena_size ~section:Mir.Ast.Bss;
+        global "lock" 8 ~section:Mir.Ast.Bss;
+        global "ro" 16 ~section:Mir.Ast.Rodata ~init:[ init_word 0 r1; init_word 8 r2 ];
+        global "seeded" 32 ~section:Mir.Ast.Data
+          ~init:[ init_word 0 s1; init_word 16 s2 ];
+        global "vtbl" 16 ~section:Mir.Ast.Data
+          ~init:[ init_func 0 "cb0"; init_func 8 "cb1" ];
+        global "kslot" 8 ~section:Mir.Ast.Data ~init:[ init_func 0 "cb0" ];
+      ]
+    ~funcs:
+      [
+        (* trivial helper: inlining candidate *)
+        func "helper" [ "x" ] [ ret (v "x" +: ii 3) ];
+        func "module_init" [] [ expr (call_ext "spin_lock_init" [ glob "lock" ]); ret0 ];
+        func "cb0" [ "n" ] ~export:"fuzz.cb"
+          [ store64 (glob "arena" +: ii 8) (v "n" +: ii 1); ret (v "n" +: ii 7) ];
+        func "cb1" [ "n" ] ~export:"fuzz.cb" [ ret (mul32 (v "n") (ii 0x9E3779B1)) ];
+        func "entry" [ "n" ] ~export:"fuzz.entry" (entry_body rand ~size);
+        func "touch" [ "buf"; "n" ] ~export:"fuzz.touch" (touch_body rand);
+        func "peer" [ "who"; "n" ] ~export:"fuzz.peer" (peer_body rand);
+      ]
+
+let case_of_rand ?size rand =
+  let prog = make_prog ?size rand in
+  let extra = Int64.of_int (rand 1_000_000) in
+  { c_prog = prog; c_inputs = [ 0L; extra; 123456789L ] }
+
+let of_random_state ?size () st = case_of_rand ?size (fun n -> Random.State.int st n)

@@ -1,0 +1,269 @@
+(** The differential harness: boots a fresh system per run (runs must
+    not contaminate each other), allocates the kernel canary and the
+    [touch] buffer {e before} loading the module — which is what makes
+    their addresses deterministic and known to the mutation engine —
+    then drives the module's full kernel-visible surface. *)
+
+open Kernel_sim
+open Kmodules
+
+type outcome = Oval of int64 | Oviolation of Lxfi.Violation.kind | Oexn of string
+
+let outcome_string = function
+  | Oval v -> Printf.sprintf "%Ld" v
+  | Oviolation k -> "violation:" ^ Lxfi.Violation.kind_name k
+  | Oexn m -> "exn:" ^ m
+
+let fuel = 100_000
+
+let mutant_config = { Lxfi.Config.lxfi with Lxfi.Config.watchdog_fuel = Some fuel }
+
+let noopt_config =
+  {
+    Lxfi.Config.lxfi with
+    Lxfi.Config.opt_elide_safe_writes = false;
+    opt_inline_trivial = false;
+  }
+
+let canary_size = 64
+let canary_byte i = (0xC5 + i) land 0xff
+
+exception Setup_failed of string
+
+type ctx = { sys : Ksys.t; mi : Lxfi.Runtime.module_info; canary : int; kbuf : int }
+
+let define_slots (rt : Lxfi.Runtime.t) =
+  List.iter
+    (fun (name, params, annot_src) ->
+      ignore (Annot.Registry.define_exn rt.Lxfi.Runtime.registry ~name ~params ~annot_src))
+    Gen.slot_defs
+
+(* Canary then kbuf: the first two allocations after boot, so their
+   addresses depend only on the config, never on the module. *)
+let alloc_fixtures (sys : Ksys.t) =
+  let kst = sys.Ksys.kst in
+  let canary = Slab.kmalloc kst.Kstate.slab canary_size in
+  for i = 0 to canary_size - 1 do
+    Kmem.write_u8 kst.Kstate.mem (canary + i) (canary_byte i)
+  done;
+  let kbuf = Slab.kmalloc kst.Kstate.slab Gen.kbuf_size in
+  (canary, kbuf)
+
+let canary_addr_of config =
+  let sys = Ksys.boot config in
+  fst (alloc_fixtures sys)
+
+let boot config prog =
+  let sys = Ksys.boot config in
+  define_slots sys.Ksys.rt;
+  let canary, kbuf = alloc_fixtures sys in
+  match Ksys.load sys prog with
+  | exception Lxfi.Loader.Load_error m -> raise (Setup_failed ("load error: " ^ m))
+  | exception Lxfi.Rewriter.Rewrite_error m -> raise (Setup_failed ("rewrite error: " ^ m))
+  | mi, _report ->
+      (match Lxfi.Loader.init_call sys.Ksys.rt mi "module_init" [] with
+      | _ -> ()
+      | exception e -> raise (Setup_failed ("module_init: " ^ Printexc.to_string e)));
+      { sys; mi; canary; kbuf }
+
+let catching f =
+  match f () with
+  | r -> Oval r
+  | exception Lxfi.Violation.Violation v -> Oviolation v.Lxfi.Violation.v_kind
+  | exception Kstate.Oops m -> Oexn ("oops: " ^ m)
+  | exception Kmem.Fault { addr; write } ->
+      Oexn (Printf.sprintf "fault:%s:0x%x" (if write then "w" else "r") addr)
+  | exception e -> Oexn (Printexc.to_string e)
+
+let invoke ctx fname args =
+  catching (fun () -> Lxfi.Runtime.invoke_module_function ctx.sys.Ksys.rt ctx.mi fname args)
+
+(* The kernel calling through the module-writable [kslot] global — the
+   path [lxfi_check_indcall] interposes on. *)
+let kcall ctx n =
+  let slot = Mod_common.gaddr ctx.mi "kslot" in
+  catching (fun () -> Kstate.call_ptr ctx.sys.Ksys.kst ~slot ~ftype:"fuzz.cb" [ n ])
+
+(* ---- clean-side oracles ---- *)
+
+type clean_sig = {
+  s_outcomes : (string * outcome) list;
+  s_arena : string;
+  s_kbuf : string;
+}
+
+let hex b =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.of_seq (Bytes.to_seq b))))
+
+let clean_drive ctx inputs =
+  List.concat_map
+    (fun n ->
+      [
+        (Printf.sprintf "entry(%Ld)" n, invoke ctx "entry" [ n ]);
+        (Printf.sprintf "touch(%Ld)" n, invoke ctx "touch" [ Int64.of_int ctx.kbuf; n ]);
+        (Printf.sprintf "peer(0x7001,%Ld)" n, invoke ctx "peer" [ 0x7001L; n ]);
+        (Printf.sprintf "peer(0x7002,%Ld)" n, invoke ctx "peer" [ 0x7002L; n ]);
+        (Printf.sprintf "kcall(%Ld)" n, kcall ctx n);
+      ])
+    inputs
+
+let run_clean ?(trace = false) config (case : Gen.case) =
+  match boot config case.Gen.c_prog with
+  | exception Setup_failed m -> Error m
+  | ctx ->
+      let buf = if trace then Some (Trace.make ~capacity:65536 ()) else None in
+      (match buf with Some b -> Lxfi.Runtime.attach_trace ctx.sys.Ksys.rt b | None -> ());
+      let outcomes =
+        Fun.protect
+          ~finally:(fun () -> if trace then Trace.detach ())
+          (fun () -> clean_drive ctx case.Gen.c_inputs)
+      in
+      let reconciled =
+        match buf with
+        | None -> true
+        | Some b ->
+            let c = ctx.sys.Ksys.kst.Kstate.cycles in
+            let final = (Kcycles.kernel c, Kcycles.module_ c, Kcycles.guard c) in
+            let p = Trace_profile.aggregate ~final b in
+            Trace_profile.attributed_cycles p = p.Trace_profile.pr_total_cycles
+      in
+      let mem = ctx.sys.Ksys.kst.Kstate.mem in
+      let arena = Mod_common.gaddr ctx.mi "arena" in
+      Ok
+        ( {
+            s_outcomes = outcomes;
+            s_arena = hex (Kmem.read_bytes mem ~addr:arena ~len:Gen.arena_size);
+            s_kbuf = hex (Kmem.read_bytes mem ~addr:ctx.kbuf ~len:Gen.kbuf_size);
+          },
+          (ctx, reconciled) )
+
+let clean_sig_under config case = Result.map fst (run_clean config case)
+
+let diff_sigs ~la ~lb (a : clean_sig) (b : clean_sig) =
+  let rec first_outcome xs ys =
+    match (xs, ys) with
+    | (na, oa) :: xs', (_, ob) :: ys' ->
+        if oa = ob then first_outcome xs' ys'
+        else Some (Printf.sprintf "%s: %s=%s vs %s=%s" na la (outcome_string oa) lb (outcome_string ob))
+    | _ -> None
+  in
+  match first_outcome a.s_outcomes b.s_outcomes with
+  | Some _ as d -> d
+  | None ->
+      if a.s_arena <> b.s_arena then
+        Some (Printf.sprintf "final arena bytes differ (%s vs %s)" la lb)
+      else if a.s_kbuf <> b.s_kbuf then
+        Some (Printf.sprintf "final kbuf bytes differ (%s vs %s)" la lb)
+      else None
+
+let static_errors_of (rt : Lxfi.Runtime.t) prog =
+  let env = Lxfi.Loader.check_env rt in
+  Check.Finding.errors (Check.Checker.check_module env prog)
+
+let clean_failure ?(trace = false) (case : Gen.case) =
+  match run_clean Lxfi.Config.stock case with
+  | Error m -> Some ("stock setup: " ^ m)
+  | Ok (stock_sig, _) -> (
+      match run_clean Lxfi.Config.lxfi case with
+      | Error m -> Some ("lxfi setup: " ^ m)
+      | Ok (lxfi_sig, (lxfi_ctx, _)) -> (
+          match diff_sigs ~la:"stock" ~lb:"lxfi" stock_sig lxfi_sig with
+          | Some d -> Some ("enforcement visible: " ^ d)
+          | None -> (
+              match run_clean noopt_config case with
+              | Error m -> Some ("noopt setup: " ^ m)
+              | Ok (noopt_sig, _) -> (
+                  match diff_sigs ~la:"lxfi" ~lb:"noopt" lxfi_sig noopt_sig with
+                  | Some d -> Some ("optimizations visible: " ^ d)
+                  | None -> (
+                      let serr = static_errors_of lxfi_ctx.sys.Ksys.rt case.Gen.c_prog in
+                      if serr > 0 then
+                        Some
+                          (Printf.sprintf
+                             "static checker reports %d error(s) on a clean module" serr)
+                      else if not trace then None
+                      else
+                        match run_clean ~trace:true Lxfi.Config.lxfi case with
+                        | Error m -> Some ("traced setup: " ^ m)
+                        | Ok (traced_sig, (_, reconciled)) -> (
+                            match diff_sigs ~la:"lxfi" ~lb:"lxfi+trace" lxfi_sig traced_sig with
+                            | Some d -> Some ("tracing visible: " ^ d)
+                            | None when not reconciled ->
+                                Some "trace cycle totals do not reconcile with the clock"
+                            | None -> None))))))
+
+(* ---- mutant-side oracles ---- *)
+
+type mutant_result = {
+  mr_outcome : outcome;
+  mr_canary_intact : bool;
+  mr_static_errors : int;
+}
+
+let run_drive ctx (drive : Mutate.drive) ~input =
+  let arg = function
+    | Mutate.Acanary -> Int64.of_int ctx.canary
+    | Mutate.Akbuf -> Int64.of_int ctx.kbuf
+    | Mutate.Ainput -> input
+  in
+  match drive with
+  | Mutate.Dinvoke (fname, args) -> invoke ctx fname (List.map arg args)
+  | Mutate.Dcorrupt_kcall (fname, args) -> (
+      match invoke ctx fname (List.map arg args) with
+      | Oval _ -> kcall ctx input
+      | early -> early)
+
+let canary_intact ctx =
+  let mem = ctx.sys.Ksys.kst.Kstate.mem in
+  let rec go i =
+    i >= canary_size || (Kmem.read_u8 mem (ctx.canary + i) = canary_byte i && go (i + 1))
+  in
+  go 0
+
+let run_mutant (m : Mutate.mutant) ~inputs =
+  match boot mutant_config m.Mutate.m_prog with
+  | exception Setup_failed msg -> Error msg
+  | ctx ->
+      let input = match inputs with n :: _ -> n | [] -> 5L in
+      let outcome = run_drive ctx m.Mutate.m_drive ~input in
+      Ok
+        {
+          mr_outcome = outcome;
+          mr_canary_intact = canary_intact ctx;
+          mr_static_errors = static_errors_of ctx.sys.Ksys.rt m.Mutate.m_prog;
+        }
+
+let mutant_verdict (m : Mutate.mutant) (r : mutant_result) =
+  let expected = Mutate.expected_kind m.Mutate.m_class in
+  match r.mr_outcome with
+  | Oviolation k when k <> expected ->
+      Some
+        (Printf.sprintf "detected as %s, expected %s" (Lxfi.Violation.kind_name k)
+           (Lxfi.Violation.kind_name expected))
+  | Oviolation _ ->
+      if not r.mr_canary_intact then Some "canary corrupted before detection"
+      else if Mutate.statically_visible m.Mutate.m_class && r.mr_static_errors = 0 then
+        Some "static checker missed a statically-visible attack"
+      else None
+  | (Oval _ | Oexn _) as o ->
+      Some
+        (Printf.sprintf "not detected (outcome %s%s)" (outcome_string o)
+           (if r.mr_canary_intact then "" else ", canary corrupted"))
+
+let mutant_failure (m : Mutate.mutant) ~inputs =
+  match run_mutant m ~inputs with
+  | Error msg -> Some ("setup failed: " ^ msg)
+  | Ok r -> mutant_verdict m r
+
+let run_violation_repro prog drive ~inputs ~expect =
+  match boot mutant_config prog with
+  | exception Setup_failed m -> Error ("setup: " ^ m)
+  | ctx -> (
+      let input = match inputs with n :: _ -> n | [] -> 5L in
+      match run_drive ctx drive ~input with
+      | Oviolation k when k = expect ->
+          if canary_intact ctx then Ok () else Error "canary corrupted before detection"
+      | o ->
+          Error
+            (Printf.sprintf "expected violation:%s, got %s"
+               (Lxfi.Violation.kind_name expect) (outcome_string o)))

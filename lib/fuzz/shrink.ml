@@ -1,0 +1,89 @@
+open Mir.Ast
+
+let max_attempts = 400
+
+let remove_range l lo len = List.filteri (fun i _ -> i < lo || i >= lo + len) l
+
+(* Greedy chunk deletion: for decreasing chunk sizes, sweep the list
+   and commit every removal that keeps the failure signature. *)
+let shrink_list ~keeps xs =
+  let rec scan xs lo size =
+    if lo >= List.length xs then xs
+    else
+      let cand = remove_range xs lo size in
+      if List.length cand < List.length xs && keeps cand then scan cand lo size
+      else scan xs (lo + size) size
+  in
+  let rec at_size xs size =
+    if size < 1 then xs else at_size (scan xs 0 size) (size / 2)
+  in
+  at_size xs (max 1 (List.length xs / 2))
+
+(* Replace compound statements with one of their branches. *)
+let rec simplify_stmts ~keeps stmts =
+  let try_replace i repl =
+    let cand = List.mapi (fun j s -> if j = i then repl else [ s ]) stmts |> List.concat in
+    if keeps cand then Some cand else None
+  in
+  let rec go i = function
+    | [] -> stmts
+    | s :: rest -> (
+        let candidates =
+          match s with
+          | If (_, t, e) -> [ t; e ]
+          | While (_, b) -> [ b ]
+          | _ -> []
+        in
+        match List.find_map (try_replace i) candidates with
+        | Some cand -> simplify_stmts ~keeps cand
+        | None -> go (i + 1) rest)
+  in
+  go 0 stmts
+
+let with_funcs p funcs = { p with funcs }
+let with_func p fname body =
+  with_funcs p
+    (List.map (fun f -> if f.fname = fname then { f with body } else f) p.funcs)
+
+let minimize ~pred prog =
+  match pred prog with
+  | None -> prog
+  | Some sig0 ->
+      let budget = ref max_attempts in
+      let ok p =
+        !budget > 0
+        &&
+        (decr budget;
+         pred p = Some sig0)
+      in
+      let prog = ref prog in
+      (* whole-item deletion: functions, globals, imports *)
+      let try_set cand = if ok cand then prog := cand in
+      List.iter
+        (fun (f : func) ->
+          try_set (with_funcs !prog (List.filter (fun g -> g.fname <> f.fname) !prog.funcs)))
+        !prog.funcs;
+      List.iter
+        (fun (g : glob) ->
+          try_set { !prog with globals = List.filter (fun h -> h.gname <> g.gname) !prog.globals })
+        !prog.globals;
+      List.iter
+        (fun i -> try_set { !prog with imports = List.filter (fun j -> j <> i) !prog.imports })
+        !prog.imports;
+      (* per-function body reduction, two passes; the helpers only ever
+         return the original body or a verified-failing reduction, so
+         committing the result is always sound *)
+      for _pass = 1 to 2 do
+        List.iter
+          (fun (f : func) ->
+            match List.find_opt (fun g -> g.fname = f.fname) !prog.funcs with
+            | None -> ()  (* deleted by the whole-item phase *)
+            | Some cur ->
+                let keeps body = ok (with_func !prog f.fname body) in
+                let body = shrink_list ~keeps cur.body in
+                let body = simplify_stmts ~keeps body in
+                let body = shrink_list ~keeps body in
+                prog := with_func !prog f.fname body)
+          !prog.funcs
+      done;
+      !prog

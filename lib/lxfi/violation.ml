@@ -16,6 +16,18 @@ type kind =
   | Principal_denied  (** privileged principal operation without standing *)
   | Watchdog_expired  (** module entry exceeded its fuel budget *)
 
+let all_kinds =
+  [
+    Write_denied;
+    Call_denied;
+    Ref_denied;
+    Cap_not_owned;
+    Annot_mismatch;
+    Shadow_stack;
+    Principal_denied;
+    Watchdog_expired;
+  ]
+
 let kind_name = function
   | Write_denied -> "write-denied"
   | Call_denied -> "call-denied"
@@ -25,6 +37,8 @@ let kind_name = function
   | Shadow_stack -> "shadow-stack"
   | Principal_denied -> "principal-denied"
   | Watchdog_expired -> "watchdog-expired"
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
 type info = {
   v_kind : kind;

@@ -14,7 +14,14 @@ type kind =
   | Principal_denied  (** privileged principal operation without standing *)
   | Watchdog_expired  (** module entry exceeded its fuel budget *)
 
+val all_kinds : kind list
+(** Every violation class, in declaration order. *)
+
 val kind_name : kind -> string
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name} (the names appear in corpus [expect:]
+    directives and JSON reports). *)
 
 type info = {
   v_kind : kind;

@@ -1,0 +1,102 @@
+open Fuzz
+
+let json_of_report (r : Campaign.report) =
+  Bench_json.Obj
+    [
+      ("workload", Bench_json.Str "fuzz");
+      ("seed", Bench_json.Int r.Campaign.r_seed);
+      ("runs", Bench_json.Int r.Campaign.r_runs);
+      ("mutants_per_case", Bench_json.Int r.Campaign.r_mutants_per_case);
+      ("cases_ok", Bench_json.Int r.Campaign.r_cases_ok);
+      ("mutants_total", Bench_json.Int r.Campaign.r_mutants_total);
+      ("mutants_correct", Bench_json.Int r.Campaign.r_mutants_correct);
+      ( "classes",
+        Bench_json.List
+          (List.map
+             (fun (s : Campaign.class_stat) ->
+               Bench_json.Obj
+                 [
+                   ("class", Bench_json.Str (Mutate.name s.Campaign.cs_class));
+                   ("guard_family", Bench_json.Str (Mutate.guard_family s.Campaign.cs_class));
+                   ( "expected",
+                     Bench_json.Str
+                       (Lxfi.Violation.kind_name (Mutate.expected_kind s.Campaign.cs_class)) );
+                   ("total", Bench_json.Int s.Campaign.cs_total);
+                   ("detected", Bench_json.Int s.Campaign.cs_detected);
+                   ("correct", Bench_json.Int s.Campaign.cs_correct);
+                   ("static_flagged", Bench_json.Int s.Campaign.cs_static);
+                 ])
+             r.Campaign.r_stats) );
+      ( "divergences",
+        Bench_json.List
+          (List.map
+             (fun (d : Campaign.divergence) ->
+               Bench_json.Obj
+                 [
+                   ("name", Bench_json.Str d.Campaign.dv_name);
+                   ("message", Bench_json.Str d.Campaign.dv_message);
+                 ])
+             r.Campaign.r_divergences) );
+      ("passed", Bench_json.Bool (Campaign.passed r));
+    ]
+
+let write_repros dir repros =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (rp : Campaign.repro) ->
+      let path = Filename.concat dir rp.Campaign.rp_name in
+      let oc = open_out path in
+      output_string oc rp.Campaign.rp_text;
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    repros
+
+let print_report (r : Campaign.report) =
+  Report.table
+    ~title:
+      (Printf.sprintf "Adversarial fuzz campaign (seed %d, %d runs, %d mutants/case)"
+         r.Campaign.r_seed r.Campaign.r_runs r.Campaign.r_mutants_per_case)
+    ~header:[ "class"; "guard family"; "expected"; "total"; "detected"; "correct"; "static" ]
+    (List.map
+       (fun (s : Campaign.class_stat) ->
+         [
+           Mutate.name s.Campaign.cs_class;
+           Mutate.guard_family s.Campaign.cs_class;
+           Lxfi.Violation.kind_name (Mutate.expected_kind s.Campaign.cs_class);
+           Report.int_ s.Campaign.cs_total;
+           Report.int_ s.Campaign.cs_detected;
+           Report.int_ s.Campaign.cs_correct;
+           Report.int_ s.Campaign.cs_static;
+         ])
+       r.Campaign.r_stats);
+  print_endline "";
+  Printf.printf "clean cases: %d/%d passed all oracles; mutants: %d/%d correct class\n"
+    r.Campaign.r_cases_ok r.Campaign.r_runs r.Campaign.r_mutants_correct
+    r.Campaign.r_mutants_total;
+  match r.Campaign.r_divergences with
+  | [] -> print_endline "no divergences"
+  | ds ->
+      Printf.printf "%d divergences:\n" (List.length ds);
+      List.iter
+        (fun (d : Campaign.divergence) ->
+          Printf.printf "  %s: %s\n" d.Campaign.dv_name d.Campaign.dv_message)
+        ds
+
+let print ?(mutants_per_case = 4) ?out ?json ~seed ~runs () =
+  let r = Campaign.run ~mutants_per_case ~seed ~runs () in
+  print_report r;
+  (match out with
+  | Some dir when r.Campaign.r_repros <> [] -> write_repros dir r.Campaign.r_repros
+  | _ -> ());
+  (match json with
+  | Some path ->
+      Bench_json.write_file path (json_of_report r);
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if Campaign.passed r then 0 else 1
+
+let print_exemplars ~seed ~out () =
+  let repros = Campaign.exemplars ~seed in
+  write_repros out repros;
+  Printf.printf "%d exemplars written to %s\n" (List.length repros) out;
+  0

@@ -68,6 +68,60 @@ let test_big_range () =
   Alcotest.(check bool) "blanket removable" false
     (Captable.has_write t ~addr:0x2000 ~size:8)
 
+let test_zero_length_ranges () =
+  let t = Captable.create () in
+  (* empty grants are a caller bug, not a silent no-op capability *)
+  Alcotest.check_raises "size 0 rejected" (Invalid_argument "Captable.add_write: size <= 0")
+    (fun () -> Captable.add_write t ~base:0x1000 ~size:0);
+  (try Captable.add_write t ~base:0x1000 ~size:(-8) with Invalid_argument _ -> ());
+  Alcotest.(check int) "nothing inserted" 0 (Captable.write_count t);
+  (* revoking an empty range removes nothing *)
+  Captable.add_write t ~base:0x1000 ~size:64;
+  Alcotest.(check int) "empty revoke is a no-op" 0
+    (Captable.remove_write_intersecting t ~base:0x1000 ~size:0);
+  Alcotest.(check bool) "grant survives" true (Captable.has_write t ~addr:0x1000 ~size:64)
+
+let test_exactly_adjacent_ranges () =
+  let t = Captable.create () in
+  (* two abutting grants: each side covered, but a single access
+     straddling the seam is not — capabilities do not coalesce *)
+  Captable.add_write t ~base:0x1000 ~size:0x40;
+  Captable.add_write t ~base:0x1040 ~size:0x40;
+  Alcotest.(check bool) "left suffix" true (Captable.has_write t ~addr:0x1038 ~size:8);
+  Alcotest.(check bool) "right prefix" true (Captable.has_write t ~addr:0x1040 ~size:8);
+  Alcotest.(check bool) "seam-straddling access denied" false
+    (Captable.has_write t ~addr:0x1038 ~size:16);
+  (* revoking the left entry must not disturb its neighbour *)
+  Alcotest.(check int) "left revoked" 1
+    (Captable.remove_write_intersecting t ~base:0x1000 ~size:0x40);
+  Alcotest.(check bool) "right intact" true (Captable.has_write t ~addr:0x1040 ~size:0x40)
+
+let test_page_boundary_writes () =
+  let t = Captable.create () in
+  (* a grant ending exactly on a page boundary grants nothing beyond *)
+  Captable.add_write t ~base:0xff8 ~size:8;
+  Alcotest.(check bool) "covers to the edge" true (Captable.has_write t ~addr:0xff8 ~size:8);
+  Alcotest.(check bool) "next page excluded" false (Captable.has_write t ~addr:0x1000 ~size:1);
+  (* a grant straddling a page boundary admits the straddling write,
+     from the slot of either page *)
+  Captable.add_write t ~base:0x1ff0 ~size:0x20;
+  Alcotest.(check bool) "write across the boundary" true
+    (Captable.has_write t ~addr:0x1ffc ~size:8);
+  Alcotest.(check bool) "tail on second page" true (Captable.has_write t ~addr:0x2008 ~size:8);
+  Alcotest.(check bool) "past the grant" false (Captable.has_write t ~addr:0x2010 ~size:1)
+
+let test_revoke_inside_covering_range () =
+  let t = Captable.create () in
+  (* revocation granularity is the whole entry: an interior revoke
+     (kfree of an interior pointer, transfer-back of a sub-buffer)
+     strips the full grant rather than splitting it *)
+  Captable.add_write t ~base:0x1000 ~size:0x40;
+  Alcotest.(check int) "interior revoke hits the entry" 1
+    (Captable.remove_write_intersecting t ~base:0x1010 ~size:8);
+  Alcotest.(check bool) "prefix gone" false (Captable.has_write t ~addr:0x1000 ~size:8);
+  Alcotest.(check bool) "suffix gone" false (Captable.has_write t ~addr:0x1020 ~size:8);
+  Alcotest.(check int) "count zero" 0 (Captable.write_count t)
+
 let test_find_covering () =
   let t = Captable.create () in
   Captable.add_write t ~base:0x1000 ~size:64;
@@ -169,6 +223,11 @@ let () =
           Alcotest.test_case "intersecting removal" `Quick test_write_intersecting_removal;
           Alcotest.test_case "idempotent insert" `Quick test_write_idempotent_insert;
           Alcotest.test_case "big (user) ranges" `Quick test_big_range;
+          Alcotest.test_case "zero-length ranges" `Quick test_zero_length_ranges;
+          Alcotest.test_case "exactly-adjacent ranges" `Quick test_exactly_adjacent_ranges;
+          Alcotest.test_case "page-boundary writes" `Quick test_page_boundary_writes;
+          Alcotest.test_case "revoke inside covering range" `Quick
+            test_revoke_inside_covering_range;
           Alcotest.test_case "find covering" `Quick test_find_covering;
         ] );
       ( "call/ref",

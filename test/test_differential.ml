@@ -1,162 +1,51 @@
 (* Differential testing: for randomly generated *well-behaved* modules
-   (stores confined to their own arena, bounded loops), the full LXFI
-   pipeline — rewriter, loader, wrappers, guards — must be semantically
-   invisible: same return value and same final memory as a stock run.
+   (stores confined to memory they legitimately own, bounded loops),
+   the full LXFI pipeline — rewriter, loader, wrappers, guards — must
+   be semantically invisible: same outcomes and same final memory as a
+   stock run.
 
-   This is the deepest end-to-end property in the suite: it exercises
-   guard insertion, inlining, the interpreter, capability grants from
-   kmalloc, and wrapper plumbing on thousands of program shapes. *)
+   The generator is the shared one in [Fuzz.Gen] (the same definition
+   `lxfi_sim fuzz` mutates into attack variants), exercised here
+   through qcheck so failures shrink and print as MIR.  The oracle is
+   [Fuzz.Harness], whose clean battery also covers the de-optimized
+   config, the static checker and trace reconciliation. *)
 
 open Kernel_sim
-open Kmodules
-open Mir.Builder
 
-let arena_size = 256
+let gen_case = Fuzz.Gen.of_random_state ()
 
-(* Generator for statements that only ever write inside the module's
-   own arena global (offsets are in bounds by construction) and only
-   loop boundedly. *)
-let gen_offset = QCheck.Gen.(map (fun i -> i * 8) (int_bound ((arena_size / 8) - 1)))
+let arb_case =
+  QCheck.make ~print:(fun (c : Fuzz.Gen.case) -> Mir.Printer.to_string c.Fuzz.Gen.c_prog) gen_case
 
-let gen_pure_expr =
-  QCheck.Gen.(
-    sized @@ fix (fun self n ->
-        let leaf =
-          oneof
-            [
-              map (fun i -> ii (i - 100)) (int_bound 200);
-              map (fun o -> load64 (glob "arena" +: ii o)) gen_offset;
-              oneofl [ v "a"; v "b" ];
-            ]
-        in
-        if n <= 1 then leaf
-        else
-          frequency
-            [
-              (2, leaf);
-              ( 3,
-                map3
-                  (fun op a b -> bin op Mir.Ast.W64 a b)
-                  (oneofl Mir.Ast.[ Add; Sub; Mul; Band; Bor; Bxor ])
-                  (self (n / 2)) (self (n / 2)) );
-              ( 1,
-                map3
-                  (fun op a b -> bin op Mir.Ast.W32 a b)
-                  (oneofl Mir.Ast.[ Add; Mul ])
-                  (self (n / 2)) (self (n / 2)) );
-            ]))
+(* The full clean-oracle battery: stock = lxfi = de-optimized lxfi on
+   every drive outcome and on final arena/buffer memory, zero static
+   findings, and (traced) cycle totals that reconcile. *)
+let prop_clean_oracles =
+  QCheck.Test.make ~count:200 ~name:"clean oracles hold on well-behaved modules" arb_case
+    (fun case ->
+      match Fuzz.Harness.clean_failure ~trace:true case with
+      | None -> true
+      | Some msg -> QCheck.Test.fail_report msg)
 
-let gen_stmt =
-  QCheck.Gen.(
-    sized @@ fix (fun self n ->
-        let base =
-          oneof
-            [
-              map2 (fun o e -> store64 (glob "arena" +: ii o) e) gen_offset gen_pure_expr;
-              map (fun e -> let_ "a" e) gen_pure_expr;
-              map (fun e -> let_ "b" e) gen_pure_expr;
-              map (fun e -> let_ "a" (call "helper" [ e ])) gen_pure_expr;
-            ]
-        in
-        if n <= 1 then base
-        else
-          frequency
-            [
-              (4, base);
-              ( 1,
-                map3
-                  (fun c t e -> if_ (c &: ii 1) t e)
-                  gen_pure_expr
-                  (list_size (int_bound 3) (self (n / 3)))
-                  (list_size (int_bound 2) (self (n / 3))) );
-              ( 1,
-                map
-                  (fun body ->
-                    (* bounded loop over a fresh counter *)
-                    Mir.Ast.If
-                      ( ii 1,
-                        for_ "i" ~from:(ii 0) ~below:(ii 7) body,
-                        [] ))
-                  (list_size (int_bound 3) (self (n / 3))) );
-            ]))
-
-let gen_prog =
-  QCheck.Gen.(
-    map
-      (fun stmts ->
-        prog "difftest" ~imports:[ "kmalloc"; "kfree" ]
-          ~globals:[ global "arena" arena_size ~section:Mir.Ast.Bss ]
-          ~funcs:
-            [
-              (* trivial helper: inlining candidate *)
-              func "helper" [ "x" ] [ ret (v "x" +: ii 3) ];
-              func "module_init" [] [ ret0 ];
-              func "entry" [ "n" ]
-                ([ let_ "a" (v "n"); let_ "b" (ii 1) ]
-                @ stmts
-                @ [
-                    (* fold the arena into the result so memory
-                       divergence is observable *)
-                    let_ "acc" (ii 0);
-                    let_ "o" (ii 0);
-                    while_
-                      (v "o" <: ii arena_size)
-                      [
-                        let_ "acc" (v "acc" ^: load64 (glob "arena" +: v "o"));
-                        let_ "o" (v "o" +: ii 8);
-                      ];
-                    ret (v "acc" ^: v "a" ^: v "b");
-                  ])
-                ~export:"bench.entry";
-            ])
-      (list_size (int_bound 12) gen_stmt))
-
-let run_under config prog input =
-  let sys = Ksys.boot config in
-  ignore
-    (Annot.Registry.define_exn sys.Ksys.rt.Lxfi.Runtime.registry ~name:"bench.entry"
-       ~params:[ "n" ] ~annot_src:"");
-  let mi, _ = Ksys.load sys prog in
-  let r = Lxfi.Runtime.invoke_module_function sys.Ksys.rt mi "entry" [ input ] in
-  (* also hash the final arena contents *)
-  let arena = Mod_common.gaddr mi "arena" in
-  let mem = Kmem.read_bytes sys.Ksys.kst.Kstate.mem ~addr:arena ~len:arena_size in
-  (r, Hashtbl.hash (Bytes.to_string mem))
-
-let prop_stock_equals_lxfi =
-  QCheck.Test.make ~count:200 ~name:"stock = lxfi on well-behaved modules"
-    (QCheck.make ~print:Mir.Printer.to_string gen_prog)
-    (fun prog ->
-      List.for_all
-        (fun input ->
-          run_under Lxfi.Config.stock prog input
-          = run_under Lxfi.Config.lxfi prog input)
-        [ 0L; 5L; 123456789L ])
-
-let prop_xfi_also_agrees =
-  QCheck.Test.make ~count:100 ~name:"xfi mode agrees too"
-    (QCheck.make ~print:Mir.Printer.to_string gen_prog)
-    (fun prog ->
-      run_under Lxfi.Config.stock prog 7L = run_under Lxfi.Config.xfi prog 7L)
-
-let prop_no_opt_agrees =
-  QCheck.Test.make ~count:100 ~name:"optimizations do not change results"
-    (QCheck.make ~print:Mir.Printer.to_string gen_prog)
-    (fun prog ->
-      let noopt =
-        {
-          Lxfi.Config.lxfi with
-          Lxfi.Config.opt_elide_safe_writes = false;
-          opt_inline_trivial = false;
-        }
-      in
-      run_under noopt prog 9L = run_under Lxfi.Config.lxfi prog 9L)
+(* XFI mode (segment confinement without API integrity) must agree with
+   stock on well-behaved modules too — it is not part of the fuzz
+   campaign's battery, so pin it here. *)
+let prop_xfi_agrees =
+  QCheck.Test.make ~count:100 ~name:"xfi mode agrees too" arb_case (fun case ->
+      match
+        ( Fuzz.Harness.clean_sig_under Lxfi.Config.stock case,
+          Fuzz.Harness.clean_sig_under Lxfi.Config.xfi case )
+      with
+      | Ok stock, Ok xfi -> (
+          match Fuzz.Harness.diff_sigs ~la:"stock" ~lb:"xfi" stock xfi with
+          | None -> true
+          | Some d -> QCheck.Test.fail_report d)
+      | Error m, _ | _, Error m -> QCheck.Test.fail_report ("setup: " ^ m))
 
 let () =
   Klog.quiet ();
   Alcotest.run "differential"
     [
       ( "equivalence",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_stock_equals_lxfi; prop_xfi_also_agrees; prop_no_opt_agrees ] );
+        List.map QCheck_alcotest.to_alcotest [ prop_clean_oracles; prop_xfi_agrees ] );
     ]

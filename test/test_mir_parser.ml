@@ -230,6 +230,20 @@ let prop_roundtrip =
       | Ok p2 -> p = p2
       | Error _ -> false)
 
+(* The fuzzer's module generator (annotated exports, vtables,
+   lock regions, kmalloc blocks) round-trips too — what makes its
+   shrunk repros replayable from text. *)
+let prop_fuzz_gen_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"fuzz-generated modules round trip"
+    (QCheck.make
+       ~print:(fun (c : Fuzz.Gen.case) -> Mir.Printer.to_string c.Fuzz.Gen.c_prog)
+       (Fuzz.Gen.of_random_state ()))
+    (fun case ->
+      let p = case.Fuzz.Gen.c_prog in
+      match Mir.Parser.parse_result (Mir.Printer.to_string p) with
+      | Ok p2 -> p = p2
+      | Error _ -> false)
+
 let () =
   Kernel_sim.Klog.quiet ();
   Alcotest.run "mir_parser"
@@ -242,5 +256,6 @@ let () =
           Alcotest.test_case "hand-written source" `Quick test_hand_written_source;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
         ] );
-      ("property", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_fuzz_gen_roundtrip ] );
     ]

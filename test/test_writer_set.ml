@@ -36,6 +36,30 @@ let test_zero_size_noop () =
   Alcotest.(check bool) "no mark for empty range" false (Writer_set.maybe_written w 0x4000);
   Alcotest.(check int) "no lines" 0 (Writer_set.marked_lines w)
 
+let test_adjacent_ranges () =
+  let w = Writer_set.create () in
+  (* exactly-adjacent marks tile the lines with no gap and no bleed *)
+  Writer_set.mark_range w ~base:0x4000 ~size:0x40;
+  Writer_set.mark_range w ~base:0x4040 ~size:0x40;
+  Alcotest.(check bool) "line before clean" false (Writer_set.maybe_written w 0x3fff);
+  Alcotest.(check bool) "first line" true (Writer_set.maybe_written w 0x4000);
+  Alcotest.(check bool) "second line" true (Writer_set.maybe_written w 0x407f);
+  Alcotest.(check bool) "line after clean" false (Writer_set.maybe_written w 0x4080);
+  Alcotest.(check int) "exactly two lines" 2 (Writer_set.marked_lines w)
+
+let test_clear_inside_covering_range () =
+  let w = Writer_set.create () in
+  (* an interior clear is line-granular: it punches out only the lines
+     it intersects, unlike the captable's whole-entry revocation *)
+  Writer_set.mark_range w ~base:0x4000 ~size:256;
+  Writer_set.clear_range w ~base:0x4080 ~size:8;
+  Alcotest.(check bool) "prefix still marked" true (Writer_set.maybe_written w 0x4000);
+  Alcotest.(check bool) "punched line clean" false (Writer_set.maybe_written w 0x4080);
+  Alcotest.(check bool) "suffix still marked" true (Writer_set.maybe_written w 0x40c0);
+  (* empty clear is a no-op *)
+  Writer_set.clear_range w ~base:0x4000 ~size:0;
+  Alcotest.(check bool) "empty clear removes nothing" true (Writer_set.maybe_written w 0x4000)
+
 (* End-to-end: kernel-owned slots stay clean under a loaded module, so
    the fast path fires; module-owned slots are dirty. *)
 let test_integration_with_grants () =
@@ -64,6 +88,9 @@ let () =
           Alcotest.test_case "clear" `Quick test_clear;
           Alcotest.test_case "line spanning" `Quick test_range_spanning;
           Alcotest.test_case "empty range" `Quick test_zero_size_noop;
+          Alcotest.test_case "exactly-adjacent ranges" `Quick test_adjacent_ranges;
+          Alcotest.test_case "clear inside covering range" `Quick
+            test_clear_inside_covering_range;
           Alcotest.test_case "grants mark; user blanket does not" `Quick
             test_integration_with_grants;
         ] );
