@@ -5,8 +5,8 @@
      dune exec bench/main.exe -- fig12   -- one section
 
    Sections: fig7 fig8 fig9 fig10 fig11 fig12 fig13 guards ablation
-   captable rewrite overheads faultsim; "netperf" is an alias for
-   fig12+fig13.
+   captable rewrite overheads faultsim lifecycle; "netperf" is an
+   alias for fig12+fig13.
    Paper reference values are printed alongside; EXPERIMENTS.md records
    the comparison run-by-run.
 
@@ -605,6 +605,20 @@ let faultsim_section () =
   end
   else None
 
+(* Robustness: the live-lifecycle campaign — hot upgrades under
+   traffic plus quarantine→repair→replay (lib/workloads/lifecycle.ml;
+   EXPERIMENTS.md, "lifecycle").  Seed fixed for reproducibility.  Not
+   part of the enforcement reference: the campaign exercises the
+   upgrade/repair paths only, so its counters are gated separately by
+   the CI lifecycle job's run-twice cmp. *)
+let lifecycle_section () =
+  ignore (Lifecycle.print ~seed:1 () : int);
+  if !json_mode then begin
+    let rows, breaches = Lifecycle.run ~seed:1 () in
+    Some (Lifecycle.to_json ~seed:1 rows breaches)
+  end
+  else None
+
 (* Event tracing (--trace): one traced netperf op mix; the profile goes
    to stdout, the Chrome trace-event JSON next to the bench JSON. *)
 let trace_section () =
@@ -709,6 +723,7 @@ let () =
       ("rewrite", plain rewrite_table);
       ("overheads", module_overheads);
       ("faultsim", faultsim_section);
+      ("lifecycle", lifecycle_section);
     ]
     @ if !trace_mode then [ ("trace", trace_section) ] else []
   in

@@ -7,6 +7,7 @@
      lxfi_sim annotations                    the annotated kernel API
      lxfi_sim dump MODULE [--mode MODE]      instrumented MIR of a module
      lxfi_sim faultsim [--seed N]            fault-injection campaign
+     lxfi_sim lifecycle [--seed N]           hot-upgrade + repair/replay campaign
      lxfi_sim fuzz [--seed N] [--runs K]     adversarial differential fuzzing
      lxfi_sim trace WORKLOAD [--seed N]      event trace + principal profile
      lxfi_sim check [MODULE|--all] [--json F] static annotation + capflow check
@@ -284,6 +285,33 @@ let faultsim_cmd =
              watchdog x netperf, can, rds).")
     Term.(const run $ seed $ trace_dir)
 
+(* ---- lifecycle ---- *)
+
+let lifecycle_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed; the same seed reproduces the exact same report.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write a machine-readable (byte-stable) report to $(docv).")
+  in
+  let run seed json =
+    Kernel_sim.Klog.quiet ();
+    exit (Workloads.Lifecycle.print ?json ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "lifecycle"
+       ~doc:"Run the live module lifecycle campaign: hot upgrades under \
+             netperf/can/rds traffic plus quarantine->repair->replay recovery \
+             cycles, asserting the liveness, violation-free-swap, counter \
+             reconciliation and recovery-replay oracles.")
+    Term.(const run $ seed $ json)
+
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
@@ -532,6 +560,7 @@ let () =
             state_cmd;
             dump_cmd;
             faultsim_cmd;
+            lifecycle_cmd;
             fuzz_cmd;
             trace_cmd;
             runmod_cmd;

@@ -24,6 +24,10 @@ let drive_line = function
       "drive: invoke " ^ String.concat " " (f :: List.map arg_token args)
   | Mutate.Dcorrupt_kcall (f, args) ->
       "drive: invoke+kcall " ^ String.concat " " (f :: List.map arg_token args)
+  | Mutate.Dupgrade ((f1, a1), (f2, a2)) ->
+      "drive: invoke+upgrade+invoke "
+      ^ String.concat " "
+          ((f1 :: List.map arg_token a1) @ (f2 :: List.map arg_token a2))
 
 let header lines =
   "/* fuzz corpus\n"
@@ -87,6 +91,21 @@ let parse_spec src =
             Result.map (fun args -> Some (Mutate.Dinvoke (f, args))) (parse_args toks)
         | "invoke+kcall" :: f :: toks ->
             Result.map (fun args -> Some (Mutate.Dcorrupt_kcall (f, args))) (parse_args toks)
+        | "invoke+upgrade+invoke" :: f1 :: toks -> (
+            (* leading @-tokens belong to the first call; the next bare
+               word names the post-upgrade entry *)
+            let rec split acc = function
+              | t :: rest when arg_of_token t <> None ->
+                  split (acc @ [ Option.get (arg_of_token t) ]) rest
+              | rest -> (acc, rest)
+            in
+            let a1, rest = split [] toks in
+            match rest with
+            | f2 :: toks2 ->
+                Result.map
+                  (fun a2 -> Some (Mutate.Dupgrade ((f1, a1), (f2, a2))))
+                  (parse_args toks2)
+            | [] -> Error "invoke+upgrade+invoke needs a post-upgrade entry name")
         | _ -> Error (Printf.sprintf "bad drive directive %S" rest))
   in
   let inputs =

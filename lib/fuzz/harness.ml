@@ -200,7 +200,9 @@ type mutant_result = {
   mr_static_errors : int;
 }
 
-let run_drive ctx (drive : Mutate.drive) ~input =
+(* [prog] is the pristine (pre-rewrite) program, needed by the
+   [Dupgrade] drive to derive the downgraded version it swaps in. *)
+let run_drive ctx ~prog (drive : Mutate.drive) ~input =
   let arg = function
     | Mutate.Acanary -> Int64.of_int ctx.canary
     | Mutate.Akbuf -> Int64.of_int ctx.kbuf
@@ -211,6 +213,16 @@ let run_drive ctx (drive : Mutate.drive) ~input =
   | Mutate.Dcorrupt_kcall (fname, args) -> (
       match invoke ctx fname (List.map arg args) with
       | Oval _ -> kcall ctx input
+      | early -> early)
+  | Mutate.Dupgrade ((f1, a1), (f2, a2)) -> (
+      match invoke ctx f1 (List.map arg a1) with
+      | Oval _ ->
+          catching (fun () ->
+              let rt = ctx.sys.Ksys.rt in
+              let mi, _report, _up =
+                Lxfi.Loader.upgrade rt ctx.mi (Mutate.downgrade_of prog)
+              in
+              Lxfi.Runtime.invoke_module_function rt mi f2 (List.map arg a2))
       | early -> early)
 
 let canary_intact ctx =
@@ -225,7 +237,7 @@ let run_mutant (m : Mutate.mutant) ~inputs =
   | exception Setup_failed msg -> Error msg
   | ctx ->
       let input = match inputs with n :: _ -> n | [] -> 5L in
-      let outcome = run_drive ctx m.Mutate.m_drive ~input in
+      let outcome = run_drive ctx ~prog:m.Mutate.m_prog m.Mutate.m_drive ~input in
       Ok
         {
           mr_outcome = outcome;
@@ -255,14 +267,44 @@ let mutant_failure (m : Mutate.mutant) ~inputs =
   | Error msg -> Some ("setup failed: " ^ msg)
   | Ok r -> mutant_verdict m r
 
+(* The no-upgrade control for the stale-capability class: the same two
+   calls on one instance, no swap in between.  Both must complete —
+   the violation is real only if it {e depends} on the upgrade having
+   dropped the grant (a shrunk attack that violates even without the
+   swap is just an ordinary bad store, not a stale capability). *)
+let run_without_upgrade prog ((f1, a1), (f2, a2)) ~inputs =
+  match boot mutant_config prog with
+  | exception Setup_failed m -> Error ("control setup: " ^ m)
+  | ctx -> (
+      let input = match inputs with n :: _ -> n | [] -> 5L in
+      let arg = function
+        | Mutate.Acanary -> Int64.of_int ctx.canary
+        | Mutate.Akbuf -> Int64.of_int ctx.kbuf
+        | Mutate.Ainput -> input
+      in
+      let step f args =
+        match invoke ctx f (List.map arg args) with
+        | Oval _ -> Ok ()
+        | o ->
+            Error
+              (Printf.sprintf "no-upgrade control: %s raised %s (violation does not \
+                               depend on the swap)"
+                 f (outcome_string o))
+      in
+      match step f1 a1 with Ok () -> step f2 a2 | e -> e)
+
 let run_violation_repro prog drive ~inputs ~expect =
   match boot mutant_config prog with
   | exception Setup_failed m -> Error ("setup: " ^ m)
   | ctx -> (
       let input = match inputs with n :: _ -> n | [] -> 5L in
-      match run_drive ctx drive ~input with
-      | Oviolation k when k = expect ->
-          if canary_intact ctx then Ok () else Error "canary corrupted before detection"
+      match run_drive ctx ~prog drive ~input with
+      | Oviolation k when k = expect -> (
+          if not (canary_intact ctx) then Error "canary corrupted before detection"
+          else
+            match drive with
+            | Mutate.Dupgrade (c1, c2) -> run_without_upgrade prog (c1, c2) ~inputs
+            | Mutate.Dinvoke _ | Mutate.Dcorrupt_kcall _ -> Ok ())
       | o ->
           Error
             (Printf.sprintf "expected violation:%s, got %s"

@@ -17,6 +17,7 @@ type mclass =
   | Slot_type_confusion
   | Runaway_entry
   | Uncovered_param_store
+  | Stale_cap_after_upgrade
 
 let all =
   [
@@ -30,6 +31,7 @@ let all =
     Slot_type_confusion;
     Runaway_entry;
     Uncovered_param_store;
+    Stale_cap_after_upgrade;
   ]
 
 let name = function
@@ -43,11 +45,13 @@ let name = function
   | Slot_type_confusion -> "slot-type-confusion"
   | Runaway_entry -> "runaway-entry"
   | Uncovered_param_store -> "uncovered-param-store"
+  | Stale_cap_after_upgrade -> "stale-capability-after-upgrade"
 
 let of_name s = List.find_opt (fun c -> name c = s) all
 
 let expected_kind = function
-  | Store_oob | Use_after_transfer | Over_grant | Uncovered_param_store ->
+  | Store_oob | Use_after_transfer | Over_grant | Uncovered_param_store
+  | Stale_cap_after_upgrade ->
       Lxfi.Violation.Write_denied
   | Forged_indcall | Slot_corruption -> Lxfi.Violation.Call_denied
   | Unowned_arg -> Lxfi.Violation.Ref_denied
@@ -66,12 +70,34 @@ let guard_family = function
   | Slot_type_confusion -> "kernel indirect-call annotation-hash check"
   | Runaway_entry -> "entry watchdog"
   | Uncovered_param_store -> "static capflow + store guard"
+  | Stale_cap_after_upgrade -> "upgrade restore filter (grant shrinking) + store guard"
 
 let statically_visible = function Uncovered_param_store -> true | _ -> false
 
 type arg = Acanary | Akbuf | Ainput
-type drive = Dinvoke of string * arg list | Dcorrupt_kcall of string * arg list
+
+type drive =
+  | Dinvoke of string * arg list
+  | Dcorrupt_kcall of string * arg list
+  | Dupgrade of (string * arg list) * (string * arg list)
+
 type mutant = { m_class : mclass; m_prog : Mir.Ast.prog; m_drive : drive }
+
+(** The hot-upgrade downgrade of a mutant program: [touch] loses its
+    [fuzz.touch] export, so the new version's write surface no longer
+    contains the slot whose annotation granted dynamic WRITEs — the
+    upgrade's restore filter must then drop every restored WRITE
+    capability (all-or-nothing grant shrinking). *)
+let downgrade_of (p : Mir.Ast.prog) =
+  {
+    p with
+    Mir.Ast.funcs =
+      List.map
+        (fun (f : Mir.Ast.func) ->
+          if f.Mir.Ast.export = Some "fuzz.touch" then { f with Mir.Ast.export = None }
+          else f)
+        p.Mir.Ast.funcs;
+  }
 
 let prepend_to fname stmts (p : Mir.Ast.prog) =
   {
@@ -89,6 +115,9 @@ let add_import iname (p : Mir.Ast.prog) =
   else { p with Mir.Ast.imports = p.Mir.Ast.imports @ [ iname ] }
 
 let add_func f (p : Mir.Ast.prog) = { p with Mir.Ast.funcs = p.Mir.Ast.funcs @ [ f ] }
+
+let add_global g (p : Mir.Ast.prog) =
+  { p with Mir.Ast.globals = p.Mir.Ast.globals @ [ g ] }
 
 let apply ~canary_addr mclass prog =
   let canary = ii canary_addr in
@@ -152,6 +181,30 @@ let apply ~canary_addr mclass prog =
                [ store64 (v "p") (v "n"); ret0 ])
             prog,
           Dinvoke ("evil_store", [ Acanary; Ainput ]) )
+    | Stale_cap_after_upgrade ->
+        (* [touch] stashes the buffer pointer its annotation granted
+           WRITE for; the harness then hot-upgrades to the downgraded
+           version ([downgrade_of]: the stash global's contents survive
+           the state transfer, but the shrunken write surface makes the
+           restore filter drop the dynamic WRITE), and the victim's
+           store through the stale pointer must find the capability
+           gone.  A replay oracle for upgrade grant-shrinking: a naive
+           restore would let the store land in the kernel buffer. *)
+        ( add_func
+            (* bails out when the stash was never planted, so the
+               victim is clean on its own; Harness.run_without_upgrade
+               additionally pins the violation on the swap itself *)
+            (func "upgrade_victim" [ "p"; "n" ] ~export:"fuzz.noop"
+               [
+                 when_ (load64 (glob "stash") ==: ii 0) [ ret0 ];
+                 store64 (load64 (glob "stash")) (v "n");
+                 ret0;
+               ])
+            (add_global
+               (global "stash" 8 ~section:Mir.Ast.Data)
+               (prepend_to "touch" [ store64 (glob "stash") (v "buf") ] prog)),
+          Dupgrade (("touch", [ Akbuf; Ainput ]), ("upgrade_victim", [ Acanary; Ainput ]))
+        )
   in
   { m_class = mclass; m_prog = prog; m_drive = drive }
 

@@ -14,6 +14,9 @@ type mclass =
   | Slot_type_confusion  (** wrong-typed own function into the slot → hash *)
   | Runaway_entry  (** unbounded loop → watchdog *)
   | Uncovered_param_store  (** store no clause covers → capflow + store guard *)
+  | Stale_cap_after_upgrade
+      (** store through a pointer whose WRITE grant the hot upgrade's
+          restore filter dropped → grant shrinking + store guard *)
 
 val all : mclass list
 val name : mclass -> string
@@ -39,8 +42,18 @@ type drive =
   | Dcorrupt_kcall of string * arg list
       (** invoke the entry (which corrupts [kslot]), then have the
           kernel indirect-call through [kslot] *)
+  | Dupgrade of (string * arg list) * (string * arg list)
+      (** invoke the first entry, hot-upgrade the module to
+          {!downgrade_of} its program, then invoke the second entry on
+          the swapped-in instance *)
 
 type mutant = { m_class : mclass; m_prog : Mir.Ast.prog; m_drive : drive }
+
+val downgrade_of : Mir.Ast.prog -> Mir.Ast.prog
+(** The program the {!Dupgrade} drive swaps in: identical except that
+    [touch] loses its [fuzz.touch] export, shrinking the version's
+    write surface so the upgrade's restore filter must drop every
+    restored dynamic WRITE capability. *)
 
 val apply : canary_addr:int -> mclass -> Mir.Ast.prog -> mutant
 (** Derive the labelled malicious variant.  [canary_addr] is the

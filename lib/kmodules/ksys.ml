@@ -89,10 +89,14 @@ let register_slot_types (rt : Lxfi.Runtime.t) =
 
 let register_iterators (t : t) =
   let rt = t.rt in
-  let reg name fn = Lxfi.Runtime.register_iterator rt ~name fn in
+  (* Every iterator declares the capability shapes it can yield; the
+     upgrade compatibility check ([Loader.upgrade]) uses the declaration
+     to decide whether an annotation mentioning the iterator is part of
+     a version's write/ref surface. *)
+  let reg ?shapes name fn = Lxfi.Runtime.register_iterator ?shapes rt ~name fn in
   (* kmalloc_caps(p): WRITE for the object's actual (size-class) size —
      this is the precise semantics that defeats the CAN BCM overflow. *)
-  reg "kmalloc_caps" (fun _rt args ->
+  reg ~shapes:[ Lxfi.Runtime.Swrite ] "kmalloc_caps" (fun _rt args ->
       match args with
       | [ p ] ->
           let p = Int64.to_int p in
@@ -103,7 +107,7 @@ let register_iterators (t : t) =
             [ Lxfi.Capability.Cwrite { base = p; size = Slab.usable_size t.kst.Kstate.slab p } ]
       | _ -> invalid_arg "kmalloc_caps: expected 1 argument");
   (* skb_caps(skb): the Figure 4 iterator — the struct and its payload. *)
-  reg "skb_caps" (fun _rt args ->
+  reg ~shapes:[ Lxfi.Runtime.Swrite ] "skb_caps" (fun _rt args ->
       match args with
       | [ skb ] ->
           let skb = Int64.to_int skb in
@@ -122,7 +126,9 @@ let register_iterators (t : t) =
      sk_buff_fields (unlocking the field-accessor exports below) plus
      WRITE on the payload only.  The struct itself stays out of reach:
      a compromised driver cannot redirect skb->data or forge lengths. *)
-  reg "skb_strict_caps" (fun _rt args ->
+  reg
+    ~shapes:[ Lxfi.Runtime.Swrite; Lxfi.Runtime.Sref "sk_buff_fields" ]
+    "skb_strict_caps" (fun _rt args ->
       match args with
       | [ skb ] ->
           let skb = Int64.to_int skb in
@@ -137,7 +143,7 @@ let register_iterators (t : t) =
           end
       | _ -> invalid_arg "skb_strict_caps: expected 1 argument");
   (* pci_bar_caps(pcidev): the device's MMIO window. *)
-  reg "pci_bar_caps" (fun _rt args ->
+  reg ~shapes:[ Lxfi.Runtime.Swrite ] "pci_bar_caps" (fun _rt args ->
       match args with
       | [ dev ] ->
           let dev = Int64.to_int dev in
@@ -146,7 +152,7 @@ let register_iterators (t : t) =
           else [ Lxfi.Capability.Cwrite { base = bar; size = len } ]
       | _ -> invalid_arg "pci_bar_caps: expected 1 argument");
   (* bio_caps(bio): struct + payload, like skb_caps. *)
-  reg "bio_caps" (fun _rt args ->
+  reg ~shapes:[ Lxfi.Runtime.Swrite ] "bio_caps" (fun _rt args ->
       match args with
       | [ bio ] ->
           let bio = Int64.to_int bio in
@@ -162,7 +168,9 @@ let register_iterators (t : t) =
       | _ -> invalid_arg "bio_caps: expected 1 argument");
   (* snd_card_caps(card): card struct, DMA area, and the REF that
      names the card for registration. *)
-  reg "snd_card_caps" (fun _rt args ->
+  reg
+    ~shapes:[ Lxfi.Runtime.Swrite; Lxfi.Runtime.Sref "snd_card" ]
+    "snd_card_caps" (fun _rt args ->
       match args with
       | [ card ] ->
           let card = Int64.to_int card in

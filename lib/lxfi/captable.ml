@@ -199,6 +199,9 @@ let has_ref t ~rtype ~addr = Hashtbl.mem t.refs (rtype, addr)
 let remove_ref t ~rtype ~addr = Hashtbl.remove t.refs (rtype, addr)
 let ref_count t = Hashtbl.length t.refs
 
+let fold_refs t f acc =
+  Hashtbl.fold (fun (rtype, addr) () acc -> f acc ~rtype ~addr) t.refs acc
+
 (** [clear t] drops every capability of every type — the quarantine
     revocation primitive. *)
 let clear t =

@@ -73,6 +73,10 @@ val has_ref : t -> rtype:string -> addr:int -> bool
 val remove_ref : t -> rtype:string -> addr:int -> unit
 val ref_count : t -> int
 
+val fold_refs : t -> ('a -> rtype:string -> addr:int -> 'a) -> 'a -> 'a
+(** Fold over every REF capability (hash order; callers that need a
+    stable order must sort). *)
+
 val clear : t -> unit
 (** Drop every capability of every type — the quarantine revocation
     primitive. *)

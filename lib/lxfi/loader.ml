@@ -198,6 +198,8 @@ let load (rt : Runtime.t) (prog : Mir.Ast.prog) : Runtime.module_info * Rewriter
       mi_stack_len = stack_len;
       mi_dead = None;
       mi_recent_violations = [];
+      mi_recent_kinds = [];
+      mi_last_entry = None;
     }
   in
 
@@ -378,3 +380,230 @@ let init_call rt (mi : Runtime.module_info) fname args =
       | exception e ->
           fin ();
           raise e)
+
+(** {1 Hot upgrade}
+
+    [upgrade] replaces a running module with a new version of itself
+    without losing the security state the old instance accumulated:
+    dynamically granted capabilities (annotation copies/transfers,
+    iterator grants) and non-pointer global state survive the swap —
+    but only the subset a compatibility check against the {e new}
+    version's annotations admits.  The invariant is monotonicity: an
+    upgrade may shrink the restored grant set, never grow it beyond
+    what the new annotations could have granted themselves. *)
+
+(** A version's {e grant surface}: for each grant source — an exported
+    slot type or an imported annotated kernel export — the caplists its
+    copy/transfer actions can execute, plus the slot types that select
+    instance principals.  Check actions are excluded: checking never
+    grants. *)
+type surface = {
+  su_sources : (string * Annot.Ast.caplist list) list;
+      (** grant source id ([slot:<name>#<ahash>] / [kexport:<name>])
+          with its grant-position caplists *)
+  su_principal_slots : (string * int64) list;
+      (** slot types carrying [principal(expr)], as (name, ahash) *)
+}
+
+let rec grant_caplists_of_action (a : Annot.Ast.action) acc =
+  match a with
+  | Annot.Ast.Cif (_, a') -> grant_caplists_of_action a' acc
+  | Annot.Ast.Copy cl | Annot.Ast.Transfer cl -> cl :: acc
+  | Annot.Ast.Check _ -> acc
+
+let grant_caplists (annot : Annot.Ast.t) =
+  List.fold_left
+    (fun acc a -> grant_caplists_of_action a acc)
+    []
+    (Annot.Ast.pre_actions annot @ Annot.Ast.post_actions annot)
+
+(** Can this caplist yield a capability of [shape]?  Inline caplists
+    answer exactly; iterator caplists consult the iterator's declared
+    shapes ({!Runtime.register_iterator}), treating an undeclared
+    iterator as able to yield anything — the conservative direction for
+    a subset check on the {e old} side and for membership on the new. *)
+let caplist_yields rt (cl : Annot.Ast.caplist) (shape : Runtime.cap_shape) =
+  match cl with
+  | Annot.Ast.Inline (ct, _, _) -> (
+      match (ct, shape) with
+      | Annot.Ast.Write, Runtime.Swrite -> true
+      | Annot.Ast.Call, Runtime.Scall -> true
+      | Annot.Ast.Ref r, Runtime.Sref r' -> String.equal r r'
+      | _ -> false)
+  | Annot.Ast.Iter (name, _) -> Runtime.iterator_can_yield rt ~name shape
+
+let surface_of (rt : Runtime.t) (mi : Runtime.module_info) : surface =
+  let slots =
+    Hashtbl.fold (fun _ sl acc -> sl :: acc) mi.Runtime.mi_func_slot []
+    |> List.sort_uniq (fun (a : Annot.Registry.slot) (b : Annot.Registry.slot) ->
+           compare
+             (a.Annot.Registry.sl_name, a.Annot.Registry.sl_ahash)
+             (b.Annot.Registry.sl_name, b.Annot.Registry.sl_ahash))
+  in
+  let slot_sources =
+    List.map
+      (fun (sl : Annot.Registry.slot) ->
+        ( Printf.sprintf "slot:%s#%Lx" sl.Annot.Registry.sl_name
+            sl.Annot.Registry.sl_ahash,
+          grant_caplists sl.Annot.Registry.sl_annot ))
+      slots
+  in
+  let kexport_sources =
+    List.filter_map
+      (fun name ->
+        if is_builtin name then None
+        else
+          match Hashtbl.find_opt rt.Runtime.kexports name with
+          | Some ke -> Some ("kexport:" ^ name, grant_caplists ke.Runtime.ke_annot)
+          | None -> None)
+      (List.sort_uniq compare mi.Runtime.mi_prog.Mir.Ast.imports)
+  in
+  let principal_slots =
+    List.filter_map
+      (fun (sl : Annot.Registry.slot) ->
+        match Annot.Ast.principal_of sl.Annot.Registry.sl_annot with
+        | Some (Annot.Ast.Pexpr _) ->
+            Some (sl.Annot.Registry.sl_name, sl.Annot.Registry.sl_ahash)
+        | _ -> None)
+      slots
+  in
+  { su_sources = slot_sources @ kexport_sources; su_principal_slots = principal_slots }
+
+(** Source ids whose grant caplists can yield WRITE — the write
+    surface.  A dynamic WRITE capability in a snapshot carries no
+    provenance, so the compatibility check is all-or-nothing: every old
+    write source must survive into the new version or {e every} dynamic
+    WRITE is dropped.  Sound (never restores what the new annotations
+    could not grant) at the price of precision. *)
+let write_surface rt (s : surface) =
+  List.filter_map
+    (fun (id, cls) ->
+      if List.exists (fun cl -> caplist_yields rt cl Runtime.Swrite) cls then Some id
+      else None)
+    s.su_sources
+  |> List.sort_uniq compare
+
+let surface_yields rt (s : surface) shape =
+  List.exists
+    (fun (_, cls) -> List.exists (fun cl -> caplist_yields rt cl shape) cls)
+    s.su_sources
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(** Does the shadow stack hold a wrapper frame of this module — i.e. is
+    a kernel→module entry (or one of its nested crossings) still in
+    flight? *)
+let in_flight (rt : Runtime.t) (mi : Runtime.module_info) =
+  let prefix = mi.Runtime.mi_name ^ ":" in
+  List.exists
+    (fun (f : Shadow_stack.frame) -> has_prefix ~prefix f.Shadow_stack.wrapper)
+    rt.Runtime.sstack.Shadow_stack.frames
+
+type upgrade_report = {
+  up_swap_cycles : int;  (** simulated cycles from drain to resume *)
+  up_restored : int;  (** capabilities re-granted into the new instance *)
+  up_dropped : int;  (** capabilities the compatibility check refused *)
+  up_violations_during : int;  (** must be 0: the violation-free oracle *)
+  up_write_surface_ok : bool;  (** old write surface ⊆ new write surface *)
+  up_instances_kept : bool;  (** instance principals survived the swap *)
+}
+
+let upgrade (rt : Runtime.t) (old_mi : Runtime.module_info)
+    (new_prog : Mir.Ast.prog) :
+    Runtime.module_info * Rewriter.report * upgrade_report =
+  let mname = old_mi.Runtime.mi_name in
+  if new_prog.Mir.Ast.pname <> mname then
+    fail "upgrade: replacement program is named %s, expected %s"
+      new_prog.Mir.Ast.pname mname;
+  if not (Hashtbl.mem rt.Runtime.modules mname) then
+    fail "upgrade: module %s is not loaded" mname;
+  (* Drain.  Kernel→module entries are synchronous and watchdog-fuel-
+     bounded, so by the time the kernel regains control every in-flight
+     entry has completed (or expired) within its fuel budget — at
+     kernel top level the module is always drained.  Finding a live
+     wrapper frame here means upgrade was invoked from inside one of
+     the module's own activations, which cannot be drained. *)
+  if in_flight rt old_mi then
+    fail "upgrade: module %s has in-flight kernel entries" mname;
+  let snap = Snapshot.capture rt old_mi in
+  let old_surface = surface_of rt old_mi in
+  let old_mem =
+    (old_mi.Runtime.mi_stack_base, old_mi.Runtime.mi_stack_len)
+    :: List.map (fun (_, b, l) -> (b, l)) old_mi.Runtime.mi_sections
+  in
+  let overlaps_old ~base ~size =
+    List.exists (fun (b, l) -> base < b + l && b < base + size) old_mem
+  in
+  let cycles0 = Kcycles.total rt.Runtime.kst.Kstate.cycles in
+  let viol0 = rt.Runtime.stats.Stats.violations in
+  unload rt old_mi;
+  let new_mi, report = load rt new_prog in
+  if Mir.Ast.find_func new_mi.Runtime.mi_prog "module_init" <> None then
+    ignore (init_call rt new_mi "module_init" []);
+  let new_surface = surface_of rt new_mi in
+  let write_ok =
+    subset (write_surface rt old_surface) (write_surface rt new_surface)
+  in
+  let instances_ok =
+    (* Entry-interface preservation: every principal-selecting slot of
+       the old version must exist, annotation-identical, in the new one
+       — otherwise a restored instance principal could be selected by
+       an entry whose contract changed under it. *)
+    subset old_surface.su_principal_slots new_surface.su_principal_slots
+  in
+  (* CALL capabilities may only be restored toward targets the new
+     version could legitimately call: its own imports (kernel exports
+     and builtins keep their interned addresses across versions).  Old
+     text addresses are retired; the new version's own functions were
+     granted by [load]. *)
+  let allowed_calls = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      if is_builtin name then
+        Hashtbl.replace allowed_calls
+          (Ksym.intern rt.Runtime.kst.Kstate.sym ("lxfi_builtin:" ^ name))
+          ()
+      else
+        match Hashtbl.find_opt rt.Runtime.kexports name with
+        | Some ke -> Hashtbl.replace allowed_calls ke.Runtime.ke_addr ()
+        | None -> ())
+    new_prog.Mir.Ast.imports;
+  let filter =
+    {
+      Snapshot.keep_write =
+        (fun ~base ~size -> write_ok && not (overlaps_old ~base ~size));
+      keep_call = (fun ~target -> Hashtbl.mem allowed_calls target);
+      keep_ref =
+        (fun ~rtype ~addr:_ -> surface_yields rt new_surface (Runtime.Sref rtype));
+      keep_instances = instances_ok;
+    }
+  in
+  let rr = Snapshot.restore_filtered rt new_mi snap filter in
+  (* Restored capabilities are real grants into live tables (and the
+     refused ones real revocations), so the guard counters account for
+     them — that is what lets a campaign reconcile counters across the
+     swap.  Each processed capability costs one annotation action of
+     simulated time, charged here because [Snapshot] itself is pure. *)
+  rt.Runtime.stats.Stats.caps_granted <-
+    rt.Runtime.stats.Stats.caps_granted + rr.Snapshot.rr_restored;
+  rt.Runtime.stats.Stats.caps_revoked <-
+    rt.Runtime.stats.Stats.caps_revoked + rr.Snapshot.rr_dropped;
+  Kcycles.charge rt.Runtime.kst.Kstate.cycles Kcycles.Guard
+    (Runtime.Cost.annotation_action * (rr.Snapshot.rr_restored + rr.Snapshot.rr_dropped));
+  let upr =
+    {
+      up_swap_cycles = Kcycles.total rt.Runtime.kst.Kstate.cycles - cycles0;
+      up_restored = rr.Snapshot.rr_restored;
+      up_dropped = rr.Snapshot.rr_dropped;
+      up_violations_during = rt.Runtime.stats.Stats.violations - viol0;
+      up_write_surface_ok = write_ok;
+      up_instances_kept = instances_ok;
+    }
+  in
+  Klog.info "upgraded module %s: %d caps restored, %d dropped, %d simulated cycles"
+    mname upr.up_restored upr.up_dropped upr.up_swap_cycles;
+  (new_mi, report, upr)

@@ -37,7 +37,10 @@ val load : Runtime.t -> Mir.Ast.prog -> Runtime.module_info * Rewriter.report
 val unload : Runtime.t -> Runtime.module_info -> unit
 (** rmmod: run [module_exit] (if defined) as the shared principal, then
     retire the module's principals, capabilities, callable addresses
-    and annotation hashes.  Pointers the exit function failed to
+    and annotation hashes.  Retirement empties every principal's whole
+    capability table — WRITE ranges, CALL targets and REF capabilities
+    of {e every} registered rtype ([test_unload.ml] pins the
+    multi-rtype case).  Pointers the exit function failed to
     unregister dangle, and a later kernel indirect call through one
     oopses — as on real hardware.  Raises {!Load_error} if the module
     is not loaded. *)
@@ -47,3 +50,46 @@ val init_call : Runtime.t -> Runtime.module_info -> string -> int64 list -> int6
     through their wrapper; plain init functions run as the shared
     principal (the paper loads modules without isolation before they
     see untrusted input). *)
+
+(** {1 Hot upgrade} *)
+
+type upgrade_report = {
+  up_swap_cycles : int;
+      (** simulated cycles from drain to resume (module_exit,
+          module_init, and one annotation action per capability the
+          compatibility check processed) *)
+  up_restored : int;  (** capabilities re-granted into the new instance *)
+  up_dropped : int;  (** capabilities the compatibility check refused *)
+  up_violations_during : int;
+      (** violations raised while the swap ran — the violation-free
+          oracle requires 0 *)
+  up_write_surface_ok : bool;
+      (** the old version's write-granting annotation sources are a
+          subset of the new version's; when false, {e every} dynamic
+          WRITE capability was dropped *)
+  up_instances_kept : bool;
+      (** every principal-selecting slot of the old version exists,
+          annotation-identical, in the new one, so instance principals
+          (and their capabilities) survived *)
+}
+
+val upgrade :
+  Runtime.t ->
+  Runtime.module_info ->
+  Mir.Ast.prog ->
+  Runtime.module_info * Rewriter.report * upgrade_report
+(** [upgrade rt old_mi new_prog] hot-swaps a running module for a new
+    version of itself: drain in-flight entries (synchronous entries are
+    watchdog-fuel-bounded, so at kernel top level the module is always
+    drained; calling from inside one of the module's own activations is
+    a {!Load_error}), snapshot the security state, retire the old
+    instance through {!unload} (revoking every dangling grant), load
+    the new version, run its [module_init], then restore the snapshot
+    through the compatibility filter: dynamic WRITE capabilities only
+    if the old write surface is contained in the new one, CALL only
+    toward the new version's imports, REF only for rtypes the new
+    annotations can still yield, instance principals only under
+    entry-interface preservation, and nothing held by a quarantined
+    principal.  A downgraded annotation therefore {e shrinks} the
+    restored grant set — never grows it.  Non-pointer global state is
+    carried over by name where size and shape match. *)

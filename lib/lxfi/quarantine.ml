@@ -49,6 +49,10 @@ let escalate (rt : Runtime.t) (mi : Runtime.module_info) ~reason =
   match mi.Runtime.mi_dead with
   | Some _ -> ()
   | None ->
+      (* Pre-retirement observers run first, while the module's
+         capability tables are still intact — the repair subsystem
+         captures its snapshot and the traced faulting window here. *)
+      List.iter (fun hook -> hook mi ~reason) rt.Runtime.on_escalate;
       mi.Runtime.mi_dead <- Some reason;
       List.iter (fun p -> quarantine_principal rt p ~reason) mi.Runtime.mi_principals;
       Runtime.retire_module rt mi;
@@ -94,6 +98,7 @@ let module_of_violation (rt : Runtime.t) (v : Violation.info) principal =
     shared principal, then the innermost callee), and escalate the
     module if it keeps offending. *)
 let handle (rt : Runtime.t) (v : Violation.info) =
+  rt.Runtime.last_violation <- Some v;
   Stats.note_violation rt.Runtime.stats v.Violation.v_module;
   let principal =
     match v.Violation.v_principal with
@@ -109,7 +114,15 @@ let handle (rt : Runtime.t) (v : Violation.info) =
   in
   (match principal with Some p -> quarantine_principal rt p ~reason | None -> ());
   match module_of_violation rt v principal with
-  | Some mi -> note_and_maybe_escalate rt mi
+  | Some mi ->
+      let rec take n = function
+        | x :: tl when n > 0 -> x :: take (n - 1) tl
+        | _ -> []
+      in
+      mi.Runtime.mi_recent_kinds <-
+        take rt.Runtime.config.Config.escalate_threshold
+          (v.Violation.v_kind :: mi.Runtime.mi_recent_kinds);
+      note_and_maybe_escalate rt mi
   | None -> ()
 
 (** Like {!handle} for raw machine faults ([Kmem.Fault] / [Oops]) that
@@ -133,6 +146,7 @@ let handle_fault (rt : Runtime.t) (mi : Runtime.module_info) ~reason =
 let dispatch (rt : Runtime.t) (mi : Runtime.module_info) fname args =
   if not (enabled rt) then Runtime.invoke_module_function rt mi fname args
   else begin
+    mi.Runtime.mi_last_entry <- Some (fname, args);
     let depth = Shadow_stack.depth rt.Runtime.sstack in
     let saved = rt.Runtime.current in
     let saved_callee = rt.Runtime.last_callee in

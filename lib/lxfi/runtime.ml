@@ -53,7 +53,23 @@ type module_info = {
   mutable mi_dead : string option;  (** set when the whole module was retired *)
   mutable mi_recent_violations : int list;
       (** cycle stamps of recent violations, for escalation windowing *)
+  mutable mi_recent_kinds : Violation.kind list;
+      (** violation classes of the current escalation episode, newest
+          first, bounded by the escalation threshold — the oldest entry
+          is the episode's root cause (later entries are usually
+          [Principal_denied] bounces off the already-quarantined
+          principal) *)
+  mutable mi_last_entry : (string * int64 list) option;
+      (** innermost kernel→module entry (function, args) — recorded by
+          the quarantine dispatcher so a faulting entry can be replayed
+          against a repaired instance *)
 }
+
+(** The capability shapes an iterator can yield — static metadata used
+    by the upgrade compatibility check ([Loader.upgrade]): an iterator
+    in an annotation makes the annotation write-granting (or
+    REF(t)-granting) exactly when its shape list says so. *)
+type cap_shape = Swrite | Scall | Sref of string
 
 type kexport = {
   ke_name : string;
@@ -74,6 +90,9 @@ type t = {
   kexports : (string, kexport) Hashtbl.t;
   kexport_by_addr : (int, kexport) Hashtbl.t;
   iterators : (string, t -> int64 list -> Capability.t list) Hashtbl.t;
+  iterator_shapes : (string, cap_shape list) Hashtbl.t;
+      (** declared yield shapes per iterator; an iterator with no entry
+          is conservatively assumed to yield every shape *)
   func_ahash_by_addr : (int, int64) Hashtbl.t;
   mutable current : Principal.t option;  (** None = kernel context *)
   sstack : Shadow_stack.t;
@@ -89,6 +108,12 @@ type t = {
       (** callee principal of the innermost kernel→module entry; lets
           the quarantine policy attribute faults ([Kmem.Fault]/[Oops])
           that carry no principal of their own *)
+  mutable last_violation : Violation.info option;
+      (** most recent violation the quarantine policy handled *)
+  mutable on_escalate : (module_info -> reason:string -> unit) list;
+      (** observers called at the start of escalation, before any
+          principal is quarantined — the hook the repair subsystem uses
+          to capture the pre-retirement snapshot and trace window *)
 }
 
 let charge rt n = Kcycles.charge rt.kst.Kstate.cycles Kcycles.Guard n
@@ -128,6 +153,7 @@ let create ~kst ~(config : Config.t) =
       kexports = Hashtbl.create 64;
       kexport_by_addr = Hashtbl.create 64;
       iterators = Hashtbl.create 16;
+      iterator_shapes = Hashtbl.create 16;
       func_ahash_by_addr = Hashtbl.create 64;
       current = None;
       sstack;
@@ -137,6 +163,8 @@ let create ~kst ~(config : Config.t) =
       retired = Hashtbl.create 16;
       quarantine_log = [];
       last_callee = None;
+      last_violation = None;
+      on_escalate = [];
     }
   in
   rt
@@ -157,10 +185,14 @@ let where_of mi =
   | _ -> None
 
 (** [retire_module rt mi] pulls every kernel-callable address the
-    module registered out of the dispatch tables and records it in
-    [rt.retired] — the retirement path shared by [Loader.unload] and
-    quarantine escalation.  The module stops being resolvable by
-    name. *)
+    module registered out of the dispatch tables, records it in
+    [rt.retired], and empties every principal's capability table —
+    WRITE ranges, CALL targets, and REF capabilities of {e every}
+    registered rtype.  The explicit clear matters because principal
+    records can outlive the module (saved [current] pointers, alias
+    tables, snapshots holding a [Principal.t]): a retired module must
+    hold nothing, not merely be unreachable.  The retirement path is
+    shared by [Loader.unload] and quarantine escalation. *)
 let retire_module rt mi =
   Hashtbl.iter
     (fun _fname addr ->
@@ -168,6 +200,9 @@ let retire_module rt mi =
       Hashtbl.remove rt.func_ahash_by_addr addr;
       Hashtbl.replace rt.retired addr mi.mi_name)
     mi.mi_func_addr;
+  List.iter
+    (fun (p : Principal.t) -> Captable.clear p.Principal.caps)
+    mi.mi_principals;
   Hashtbl.remove rt.modules mi.mi_name
 
 (** {1 Kernel exports and capability iterators} *)
@@ -212,7 +247,25 @@ let register_kexport_src rt ~name ~params ~annot_src impl :
 let register_kexport_exn rt ~name ~params ~annot_src impl =
   Annot.Registry.ok_exn (register_kexport_src rt ~name ~params ~annot_src impl)
 
-let register_iterator rt ~name fn = Hashtbl.replace rt.iterators name fn
+let register_iterator ?shapes rt ~name fn =
+  Hashtbl.replace rt.iterators name fn;
+  match shapes with
+  | Some ss -> Hashtbl.replace rt.iterator_shapes name ss
+  | None -> ()
+
+(** [iterator_can_yield rt ~name shape] — can iterator [name] yield a
+    capability of [shape]?  Unknown iterators conservatively yield
+    everything (so an upgrade never restores a grant on the strength of
+    a missing declaration — the caller treats "can yield" as "the
+    annotation surface still justifies this capability kind"). *)
+let iterator_can_yield rt ~name (shape : cap_shape) =
+  match Hashtbl.find_opt rt.iterator_shapes name with
+  | None -> true
+  | Some ss -> (
+      match shape with
+      | Sref rtype ->
+          List.exists (function Sref r -> r = rtype | _ -> false) ss
+      | s -> List.mem s ss)
 
 let find_kexport rt name =
   match Hashtbl.find_opt rt.kexports name with

@@ -45,8 +45,19 @@ type module_info = {
   mutable mi_dead : string option;  (** set when the whole module was retired *)
   mutable mi_recent_violations : int list;
       (** cycle stamps of recent violations, for escalation windowing *)
+  mutable mi_recent_kinds : Violation.kind list;
+      (** violation classes of the current escalation episode, newest
+          first, bounded by the escalation threshold — the oldest entry
+          is the episode's root cause *)
+  mutable mi_last_entry : (string * int64 list) option;
+      (** innermost kernel→module entry (function, args), recorded by
+          the quarantine dispatcher for replay after repair *)
 }
 (** Everything the runtime knows about one loaded module. *)
+
+type cap_shape = Swrite | Scall | Sref of string
+(** The capability shapes an iterator can yield — static metadata for
+    the upgrade compatibility check ([Loader.upgrade]). *)
 
 type kexport = {
   ke_name : string;
@@ -68,6 +79,8 @@ type t = {
   kexports : (string, kexport) Hashtbl.t;
   kexport_by_addr : (int, kexport) Hashtbl.t;
   iterators : (string, t -> int64 list -> Capability.t list) Hashtbl.t;
+  iterator_shapes : (string, cap_shape list) Hashtbl.t;
+      (** declared yield shapes per iterator; no entry = all shapes *)
   func_ahash_by_addr : (int, int64) Hashtbl.t;
       (** annotation hash of every annotated callable address *)
   mutable current : Principal.t option;  (** None = kernel context *)
@@ -84,6 +97,12 @@ type t = {
   mutable last_callee : Principal.t option;
       (** callee principal of the innermost kernel→module entry, for
           attributing faults that carry no principal *)
+  mutable last_violation : Violation.info option;
+      (** most recent violation the quarantine policy handled *)
+  mutable on_escalate : (module_info -> reason:string -> unit) list;
+      (** observers called at the start of escalation, before any
+          principal is quarantined (the repair subsystem's capture
+          hook) *)
 }
 
 val create : kst:Kstate.t -> config:Config.t -> t
@@ -108,8 +127,10 @@ val where_of : module_info -> string option
 
 val retire_module : t -> module_info -> unit
 (** Pull every kernel-callable address the module registered out of the
-    dispatch tables, recording each in [retired] — shared by
-    [Loader.unload] and quarantine escalation. *)
+    dispatch tables (recording each in [retired]) and empty every
+    principal's capability table — WRITE, CALL and REF capabilities of
+    every registered rtype — shared by [Loader.unload] and quarantine
+    escalation. *)
 
 (** {1 Kernel API surface} *)
 
@@ -145,9 +166,19 @@ val register_kexport_exn :
     bug. *)
 
 val register_iterator :
-  t -> name:string -> (t -> int64 list -> Capability.t list) -> unit
+  ?shapes:cap_shape list ->
+  t ->
+  name:string ->
+  (t -> int64 list -> Capability.t list) ->
+  unit
 (** Register a programmer-supplied capability iterator ([skb_caps],
-    [kmalloc_caps], ...; §3.3). *)
+    [kmalloc_caps], ...; §3.3).  [shapes] declares the capability kinds
+    the iterator can yield, consumed by the upgrade compatibility
+    check; omitted = assume every shape. *)
+
+val iterator_can_yield : t -> name:string -> cap_shape -> bool
+(** Can iterator [name] yield a capability of this shape?  Unknown
+    iterators conservatively yield everything. *)
 
 val find_kexport : t -> string -> kexport
 

@@ -50,3 +50,7 @@ let clear_range t ~base ~size =
   end
 
 let marked_lines t = Hashtbl.length t.lines
+
+(** [fold_lines t f acc] — fold over every marked line index (hash
+    order; snapshotting sorts). *)
+let fold_lines t f acc = Hashtbl.fold (fun l () acc -> f acc l) t.lines acc

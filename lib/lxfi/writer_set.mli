@@ -27,3 +27,7 @@ val clear_range : t -> base:int -> size:int -> unit
 (** Unmark a range (memory zeroed and recycled outside module hands). *)
 
 val marked_lines : t -> int
+
+val fold_lines : t -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold over every marked line index (hash order; callers that need a
+    stable order must sort). *)

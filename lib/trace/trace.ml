@@ -141,6 +141,9 @@ let detach () =
   clock := (fun () -> (0, 0, 0));
   principal := (fun () -> "(kernel)")
 
+(** [attached ()] — the live sink, if any. *)
+let attached () = !current
+
 (** [emit kind] appends an event stamped with the current clock and
     principal.  No-op when no buffer is attached; hook sites guard with
     [!on] anyway so the disabled path never reaches here. *)

@@ -68,6 +68,11 @@ val attach : t -> clock:(unit -> int * int * int) -> principal:(unit -> string) 
 val detach : unit -> unit
 (** Clear [on] and the providers; the buffer keeps its events. *)
 
+val attached : unit -> t option
+(** The live sink, if a buffer is attached — lets observers (e.g. the
+    quarantine repair path) read back the event window around a fault
+    without threading the buffer through every layer. *)
+
 val emit : kind -> unit
 (** Append an event stamped with the current clock and principal.
     Call only behind an [!on] check. *)

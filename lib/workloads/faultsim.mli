@@ -24,6 +24,11 @@ type row = {
   fs_invariants_ok : bool;
 }
 
+val workloads : (string * (Kmodules.Ksys.t -> unit -> int64)) list
+(** Bystander workload setups: each boots its module(s) into the given
+    system and returns a [serve] probe whose value must be unchanged
+    after a campaign cell's faults.  Shared with {!Lifecycle}. *)
+
 val workload_names : string list
 
 val run_cell :

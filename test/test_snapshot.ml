@@ -1,0 +1,129 @@
+(* Snapshot determinism properties over fuzzer-generated modules.
+
+   The lifecycle machinery (hot upgrade, quarantine repair) leans on
+   three Snapshot facts, checked here as qcheck properties instead of
+   hand-picked examples:
+
+   - capture -> restore -> capture round-trips byte-identically, for
+     any generated module in any reachable post-traffic state;
+   - restore really is an exact restore: scrub the capability tables,
+     globals and quarantine flags and the snapshot puts every byte
+     back;
+   - [diff a b = []] exactly when [equal a b], so the reconciliation
+     oracles can report differences without a second comparison
+     path. *)
+
+let boot_case (case : Fuzz.Gen.case) =
+  let sys = Kmodules.Ksys.boot Lxfi.Config.lxfi in
+  let rt = sys.Kmodules.Ksys.rt in
+  List.iter
+    (fun (name, params, annot_src) ->
+      ignore
+        (Annot.Registry.define_exn rt.Lxfi.Runtime.registry ~name ~params ~annot_src
+          : Annot.Registry.slot))
+    Fuzz.Gen.slot_defs;
+  let kbuf = Kernel_sim.Slab.kmalloc sys.Kmodules.Ksys.kst.Kernel_sim.Kstate.slab
+      Fuzz.Gen.kbuf_size
+  in
+  let mi, _report = Kmodules.Ksys.load sys case.Fuzz.Gen.c_prog in
+  ignore (Lxfi.Loader.init_call rt mi "module_init" [] : int64);
+  (* drive real traffic so the captured state includes dynamic grants,
+     instance principals and mutated globals, not just the load-time
+     baseline *)
+  List.iter
+    (fun n ->
+      ignore (Lxfi.Runtime.invoke_module_function rt mi "entry" [ n ] : int64);
+      ignore
+        (Lxfi.Runtime.invoke_module_function rt mi "touch" [ Int64.of_int kbuf; n ]
+          : int64);
+      ignore (Lxfi.Runtime.invoke_module_function rt mi "peer" [ 0x7001L; n ] : int64))
+    case.Fuzz.Gen.c_inputs;
+  (sys, mi)
+
+let case_of_seed seed =
+  let rng = Fuzz.Rng.create ~seed in
+  Fuzz.Gen.case_of_rand (Fuzz.Rng.rand rng)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
+
+let prop_capture_restore_capture =
+  QCheck.Test.make ~count:40 ~name:"capture -> restore -> capture is byte-identical"
+    arb_seed (fun seed ->
+      let sys, mi = boot_case (case_of_seed seed) in
+      let rt = sys.Kmodules.Ksys.rt in
+      let s1 = Lxfi.Snapshot.capture rt mi in
+      Lxfi.Snapshot.restore rt mi s1;
+      let s2 = Lxfi.Snapshot.capture rt mi in
+      String.equal (Lxfi.Snapshot.render s1) (Lxfi.Snapshot.render s2))
+
+(* Scrub everything restore is specified to put back — capability
+   tables, quarantine flags, global bytes — using raw table/memory
+   operations (stats-silent, so the stats line cannot mask a miss). *)
+let prop_restore_is_exact =
+  QCheck.Test.make ~count:30 ~name:"restore undoes capability+global+quarantine scrub"
+    arb_seed (fun seed ->
+      let sys, mi = boot_case (case_of_seed seed) in
+      let rt = sys.Kmodules.Ksys.rt in
+      let s1 = Lxfi.Snapshot.capture rt mi in
+      List.iter
+        (fun (p : Lxfi.Principal.t) ->
+          Lxfi.Captable.clear p.Lxfi.Principal.caps;
+          p.Lxfi.Principal.quarantined <- Some "scrubbed")
+        mi.Lxfi.Runtime.mi_principals;
+      let arena = Kmodules.Mod_common.gaddr mi "arena" in
+      let mem = sys.Kmodules.Ksys.kst.Kernel_sim.Kstate.mem in
+      for i = 0 to Fuzz.Gen.arena_size - 1 do
+        Kernel_sim.Kmem.write_u8 mem (arena + i) 0xee
+      done;
+      let scrubbed = Lxfi.Snapshot.capture rt mi in
+      Lxfi.Snapshot.restore rt mi s1;
+      let s2 = Lxfi.Snapshot.capture rt mi in
+      (not (Lxfi.Snapshot.equal s1 scrubbed))
+      && String.equal (Lxfi.Snapshot.render s1) (Lxfi.Snapshot.render s2))
+
+let prop_diff_empty_iff_equal =
+  QCheck.Test.make ~count:30 ~name:"diff is empty exactly when snapshots are equal"
+    (QCheck.pair arb_seed arb_seed) (fun (seed_a, seed_b) ->
+      let sys_a, mi_a = boot_case (case_of_seed seed_a) in
+      let sys_b, mi_b = boot_case (case_of_seed seed_b) in
+      let a = Lxfi.Snapshot.capture sys_a.Kmodules.Ksys.rt mi_a in
+      let b = Lxfi.Snapshot.capture sys_b.Kmodules.Ksys.rt mi_b in
+      let coherent x y =
+        Lxfi.Snapshot.diff x y = [] = Lxfi.Snapshot.equal x y
+      in
+      Lxfi.Snapshot.diff a a = []
+      && Lxfi.Snapshot.diff b b = []
+      && coherent a b && coherent b a)
+
+(* Each diff line carries the side marker the reconciliation reports
+   print verbatim. *)
+let test_diff_markers () =
+  let sys, mi = boot_case (case_of_seed 11) in
+  let rt = sys.Kmodules.Ksys.rt in
+  let s1 = Lxfi.Snapshot.capture rt mi in
+  mi.Lxfi.Runtime.mi_shared.Lxfi.Principal.quarantined <- Some "marker-test";
+  let s2 = Lxfi.Snapshot.capture rt mi in
+  let d = Lxfi.Snapshot.diff s1 s2 in
+  Alcotest.(check bool) "scrub shows up" true (d <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line %S has a side marker" l)
+        true
+        (String.length l > 2
+        && (String.sub l 0 2 = "- " || String.sub l 0 2 = "+ ")))
+    d
+
+let () =
+  Kernel_sim.Klog.quiet ();
+  Alcotest.run "snapshot"
+    [
+      ( "qcheck",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_capture_restore_capture;
+            prop_restore_is_exact;
+            prop_diff_empty_iff_equal;
+          ] );
+      ("diff", [ Alcotest.test_case "side markers" `Quick test_diff_markers ]);
+    ]

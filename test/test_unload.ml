@@ -81,6 +81,28 @@ let test_unload_twice_fails () =
   | exception Lxfi.Loader.Load_error _ -> ()
   | () -> Alcotest.fail "double unload must fail"
 
+let test_unload_revokes_all_ref_rtypes () =
+  (* regression: retirement used to drop only the first rtype bucket it
+     saw, so a REF of a second rtype survived the unload and a reloaded
+     attacker could present it to a check(ref) wrapper *)
+  let sys = Ksys.boot Lxfi.Config.lxfi in
+  let h = Mod_common.install sys Rds.spec in
+  let p = h.Mod_common.mi.Lxfi.Runtime.mi_shared in
+  Lxfi.Runtime.grant sys.Ksys.rt p
+    (Lxfi.Capability.Cref { rtype = "pci_dev"; addr = 0x9100 });
+  Lxfi.Runtime.grant sys.Ksys.rt p
+    (Lxfi.Capability.Cref { rtype = "io_port"; addr = 0x9200 });
+  Alcotest.(check bool) "both REFs held before unload" true
+    (Lxfi.Captable.has_ref p.Lxfi.Principal.caps ~rtype:"pci_dev" ~addr:0x9100
+    && Lxfi.Captable.has_ref p.Lxfi.Principal.caps ~rtype:"io_port" ~addr:0x9200);
+  Lxfi.Loader.unload sys.Ksys.rt h.Mod_common.mi;
+  Alcotest.(check bool) "pci_dev REF revoked" false
+    (Lxfi.Captable.has_ref p.Lxfi.Principal.caps ~rtype:"pci_dev" ~addr:0x9100);
+  Alcotest.(check bool) "io_port REF revoked" false
+    (Lxfi.Captable.has_ref p.Lxfi.Principal.caps ~rtype:"io_port" ~addr:0x9200);
+  Alcotest.(check int) "no REF of any rtype survives" 0
+    (Lxfi.Captable.ref_count p.Lxfi.Principal.caps)
+
 let test_unload_preserves_other_modules () =
   let sys = Ksys.boot Lxfi.Config.lxfi in
   let h_rds = Mod_common.install sys Rds.spec in
@@ -105,6 +127,8 @@ let () =
           Alcotest.test_case "dangling pointers quarantined" `Quick
             test_dangling_pointer_quarantined;
           Alcotest.test_case "double unload fails" `Quick test_unload_twice_fails;
+          Alcotest.test_case "all REF rtypes revoked" `Quick
+            test_unload_revokes_all_ref_rtypes;
           Alcotest.test_case "other modules preserved" `Quick
             test_unload_preserves_other_modules;
         ] );
