@@ -36,8 +36,10 @@ let check_kexports (env : Env.t) : Finding.t list =
 (** The whole declared API surface: registry + kexports. *)
 let check_interfaces env = check_registry env @ check_kexports env
 
-(** One module's MIR against its propagated slot types. *)
-let check_module = Capflow.check_module
+(** One module's MIR against its propagated slot types, plus the
+    syscall-flow extraction pass. *)
+let check_module env prog =
+  Capflow.check_module env prog @ Apiflow.check_module env prog
 
 let ok summary = summary.errors = 0
 

@@ -28,6 +28,8 @@ let drive_line = function
       "drive: invoke+upgrade+invoke "
       ^ String.concat " "
           ((f1 :: List.map arg_token a1) @ (f2 :: List.map arg_token a2))
+  | Mutate.Dflow (f, args) ->
+      "drive: invoke+flowpolicy " ^ String.concat " " (f :: List.map arg_token args)
 
 let header lines =
   "/* fuzz corpus\n"
@@ -91,6 +93,10 @@ let parse_spec src =
             Result.map (fun args -> Some (Mutate.Dinvoke (f, args))) (parse_args toks)
         | "invoke+kcall" :: f :: toks ->
             Result.map (fun args -> Some (Mutate.Dcorrupt_kcall (f, args))) (parse_args toks)
+        | "invoke+flowpolicy" :: f :: toks ->
+            (* the replayed policy is re-derived deterministically: the
+               graph of [Mutate.benign_of] on the stored program *)
+            Result.map (fun args -> Some (Mutate.Dflow (f, args))) (parse_args toks)
         | "invoke+upgrade+invoke" :: f1 :: toks -> (
             (* leading @-tokens belong to the first call; the next bare
                word names the post-upgrade entry *)

@@ -8,6 +8,10 @@
       ([ARG] is [@canary], [@kbuf] or [@in]);
     - [drive: invoke+kcall FUNC ARG*] — invoke, then kernel-call
       through the module's [kslot];
+    - [drive: invoke+flowpolicy FUNC ARG*] — register the flow graph
+      of [Mutate.benign_of] the module as its enforced policy, load,
+      then invoke (the replayed policy is re-derived from the stored
+      program, so replay stays deterministic);
     - [expect: violation KIND] — the drive must raise exactly this
       violation class with the canary intact;
     - [expect: clean] — the full clean-oracle battery must pass;

@@ -53,10 +53,19 @@ let canary_addr_of config =
   let sys = Ksys.boot config in
   fst (alloc_fixtures sys)
 
-let boot config prog =
+(* [flow_of] is the audited program whose extracted kernel-API flow
+   graph is registered as [prog]'s enforced policy before the load —
+   the skew between the two is what the flow automaton detects. *)
+let boot ?flow_of config prog =
   let sys = Ksys.boot config in
   define_slots sys.Ksys.rt;
   let canary, kbuf = alloc_fixtures sys in
+  (match flow_of with
+  | None -> ()
+  | Some benign ->
+      let rt = sys.Ksys.rt in
+      let g = Check.Apiflow.extract (Lxfi.Loader.check_env rt) benign in
+      Lxfi.Runtime.register_flow_graph rt ~module_:benign.Mir.Ast.pname g);
   match Ksys.load sys prog with
   | exception Lxfi.Loader.Load_error m -> raise (Setup_failed ("load error: " ^ m))
   | exception Lxfi.Rewriter.Rewrite_error m -> raise (Setup_failed ("rewrite error: " ^ m))
@@ -209,7 +218,8 @@ let run_drive ctx ~prog (drive : Mutate.drive) ~input =
     | Mutate.Ainput -> input
   in
   match drive with
-  | Mutate.Dinvoke (fname, args) -> invoke ctx fname (List.map arg args)
+  | Mutate.Dinvoke (fname, args) | Mutate.Dflow (fname, args) ->
+      invoke ctx fname (List.map arg args)
   | Mutate.Dcorrupt_kcall (fname, args) -> (
       match invoke ctx fname (List.map arg args) with
       | Oval _ -> kcall ctx input
@@ -232,8 +242,16 @@ let canary_intact ctx =
   in
   go 0
 
+(* Flow-class mutants are detected by skew between a registered benign
+   graph and the loaded binary; every other class self-extracts its
+   graph at load, which by construction never rejects its own runs. *)
+let flow_policy_of (m_drive : Mutate.drive) prog =
+  match m_drive with
+  | Mutate.Dflow _ -> Some (Mutate.benign_of prog)
+  | Mutate.Dinvoke _ | Mutate.Dcorrupt_kcall _ | Mutate.Dupgrade _ -> None
+
 let run_mutant (m : Mutate.mutant) ~inputs =
-  match boot mutant_config m.Mutate.m_prog with
+  match boot ?flow_of:(flow_policy_of m.Mutate.m_drive m.Mutate.m_prog) mutant_config m.Mutate.m_prog with
   | exception Setup_failed msg -> Error msg
   | ctx ->
       let input = match inputs with n :: _ -> n | [] -> 5L in
@@ -293,8 +311,40 @@ let run_without_upgrade prog ((f1, a1), (f2, a2)) ~inputs =
       in
       match step f1 a1 with Ok () -> step f2 a2 | e -> e)
 
+(* Flow-class controls, pinning the violation on the policy skew: (1)
+   the same mutant with no registered policy self-extracts its graph
+   and must run clean — detection depends on the registered benign
+   graph, not on the calls themselves; (2) the reordered-back program
+   ({!Mutate.benign_of}) under that same registered policy must also
+   run clean — the policy rejects only the reordering. *)
+let run_flow_controls prog (fname, fargs) ~inputs =
+  let input = match inputs with n :: _ -> n | [] -> 5L in
+  let run ?flow_of label p =
+    match boot ?flow_of mutant_config p with
+    | exception Setup_failed m -> Error (label ^ " control setup: " ^ m)
+    | ctx -> (
+        let arg = function
+          | Mutate.Acanary -> Int64.of_int ctx.canary
+          | Mutate.Akbuf -> Int64.of_int ctx.kbuf
+          | Mutate.Ainput -> input
+        in
+        match invoke ctx fname (List.map arg fargs) with
+        | Oval _ -> Ok ()
+        | o ->
+            Error
+              (Printf.sprintf
+                 "%s control: %s raised %s (violation does not depend on the \
+                  registered flow policy)"
+                 label fname (outcome_string o)))
+  in
+  match run "self-graph" prog with
+  | Ok () ->
+      let benign = Mutate.benign_of prog in
+      run ~flow_of:benign "reordered-back" benign
+  | e -> e
+
 let run_violation_repro prog drive ~inputs ~expect =
-  match boot mutant_config prog with
+  match boot ?flow_of:(flow_policy_of drive prog) mutant_config prog with
   | exception Setup_failed m -> Error ("setup: " ^ m)
   | ctx -> (
       let input = match inputs with n :: _ -> n | [] -> 5L in
@@ -304,6 +354,7 @@ let run_violation_repro prog drive ~inputs ~expect =
           else
             match drive with
             | Mutate.Dupgrade (c1, c2) -> run_without_upgrade prog (c1, c2) ~inputs
+            | Mutate.Dflow (f, a) -> run_flow_controls prog (f, a) ~inputs
             | Mutate.Dinvoke _ | Mutate.Dcorrupt_kcall _ -> Ok ())
       | o ->
           Error

@@ -85,4 +85,7 @@ val run_violation_repro :
   expect:Lxfi.Violation.kind ->
   (unit, string) result
 (** Corpus replay: the drive must raise exactly [expect] with the
-    canary intact. *)
+    canary intact.  [Dupgrade] additionally runs the no-upgrade
+    control; [Dflow] additionally runs the self-graph control (no
+    registered policy → clean) and the reordered-back differential
+    control ({!Mutate.benign_of} under the same policy → clean). *)

@@ -18,6 +18,7 @@ type mclass =
   | Runaway_entry
   | Uncovered_param_store
   | Stale_cap_after_upgrade
+  | Flow_reorder
 
 let all =
   [
@@ -32,6 +33,7 @@ let all =
     Runaway_entry;
     Uncovered_param_store;
     Stale_cap_after_upgrade;
+    Flow_reorder;
   ]
 
 let name = function
@@ -46,6 +48,7 @@ let name = function
   | Runaway_entry -> "runaway-entry"
   | Uncovered_param_store -> "uncovered-param-store"
   | Stale_cap_after_upgrade -> "stale-capability-after-upgrade"
+  | Flow_reorder -> "flow-reorder"
 
 let of_name s = List.find_opt (fun c -> name c = s) all
 
@@ -58,6 +61,7 @@ let expected_kind = function
   | Principal_confusion -> Lxfi.Violation.Principal_denied
   | Slot_type_confusion -> Lxfi.Violation.Annot_mismatch
   | Runaway_entry -> Lxfi.Violation.Watchdog_expired
+  | Flow_reorder -> Lxfi.Violation.Flow_violation
 
 let guard_family = function
   | Store_oob -> "store guard (guard_write)"
@@ -71,6 +75,7 @@ let guard_family = function
   | Runaway_entry -> "entry watchdog"
   | Uncovered_param_store -> "static capflow + store guard"
   | Stale_cap_after_upgrade -> "upgrade restore filter (grant shrinking) + store guard"
+  | Flow_reorder -> "syscall-flow automaton (registered flow graph)"
 
 let statically_visible = function Uncovered_param_store -> true | _ -> false
 
@@ -80,6 +85,7 @@ type drive =
   | Dinvoke of string * arg list
   | Dcorrupt_kcall of string * arg list
   | Dupgrade of (string * arg list) * (string * arg list)
+  | Dflow of string * arg list
 
 type mutant = { m_class : mclass; m_prog : Mir.Ast.prog; m_drive : drive }
 
@@ -95,6 +101,30 @@ let downgrade_of (p : Mir.Ast.prog) =
       List.map
         (fun (f : Mir.Ast.func) ->
           if f.Mir.Ast.export = Some "fuzz.touch" then { f with Mir.Ast.export = None }
+          else f)
+        p.Mir.Ast.funcs;
+  }
+
+(* The audited call order of [flow_evil]: allocate, free, then take and
+   release the lock.  Every per-call contract is identical to the evil
+   body's — the two versions differ only in call {e order}. *)
+let flow_benign_body =
+  [
+    let_ "q" (call_ext "kmalloc" [ ii 32 ]);
+    when_ (v "q" ==: ii 0) [ ret0 ];
+    expr (call_ext "kfree" [ v "q" ]);
+    expr (call_ext "spin_lock" [ glob "lock" ]);
+    expr (call_ext "spin_unlock" [ glob "lock" ]);
+    ret0;
+  ]
+
+let benign_of (p : Mir.Ast.prog) =
+  {
+    p with
+    Mir.Ast.funcs =
+      List.map
+        (fun (f : Mir.Ast.func) ->
+          if f.Mir.Ast.fname = "flow_evil" then { f with Mir.Ast.body = flow_benign_body }
           else f)
         p.Mir.Ast.funcs;
   }
@@ -205,6 +235,26 @@ let apply ~canary_addr mclass prog =
                (prepend_to "touch" [ store64 (glob "stash") (v "buf") ] prog)),
           Dupgrade (("touch", [ Akbuf; Ainput ]), ("upgrade_victim", [ Acanary; Ainput ]))
         )
+    | Flow_reorder ->
+        (* kfree reordered into the locked region.  Every per-call
+           contract still holds (the freed object is owned, the lock is
+           taken then released, never recursively), so no capability or
+           annotation guard can object — only the flow automaton,
+           running the registered graph of {!benign_of}'s audited order
+           (where a lock acquire is never followed by kfree), sees the
+           skew.  The harness registers that graph before load. *)
+        ( add_func
+            (func "flow_evil" [ "p"; "n" ] ~export:"fuzz.noop"
+               [
+                 let_ "q" (call_ext "kmalloc" [ ii 32 ]);
+                 when_ (v "q" ==: ii 0) [ ret0 ];
+                 expr (call_ext "spin_lock" [ glob "lock" ]);
+                 expr (call_ext "kfree" [ v "q" ]);
+                 expr (call_ext "spin_unlock" [ glob "lock" ]);
+                 ret0;
+               ])
+            prog,
+          Dflow ("flow_evil", [ Acanary; Ainput ]) )
   in
   { m_class = mclass; m_prog = prog; m_drive = drive }
 

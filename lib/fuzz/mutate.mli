@@ -17,6 +17,9 @@ type mclass =
   | Stale_cap_after_upgrade
       (** store through a pointer whose WRITE grant the hot upgrade's
           restore filter dropped → grant shrinking + store guard *)
+  | Flow_reorder
+      (** kernel-API calls reordered against the audited order, every
+          per-call contract kept → syscall-flow automaton *)
 
 val all : mclass list
 val name : mclass -> string
@@ -46,8 +49,21 @@ type drive =
       (** invoke the first entry, hot-upgrade the module to
           {!downgrade_of} its program, then invoke the second entry on
           the swapped-in instance *)
+  | Dflow of string * arg list
+      (** register the flow graph extracted from {!benign_of} the
+          program before loading it, then invoke the entry — the SFIP
+          threat model: an audited benign graph held against a
+          tampered binary *)
 
 type mutant = { m_class : mclass; m_prog : Mir.Ast.prog; m_drive : drive }
+
+val benign_of : Mir.Ast.prog -> Mir.Ast.prog
+(** The audited counterpart of a {!Flow_reorder} mutant: identical
+    except that [flow_evil]'s kernel-API calls run in the benign order
+    (free before lock).  The graph extracted from this program is the
+    policy the {!Dflow} drive registers; the program itself is the
+    reordered-back differential control — it must run clean under that
+    same policy. *)
 
 val downgrade_of : Mir.Ast.prog -> Mir.Ast.prog
 (** The program the {!Dupgrade} drive swaps in: identical except that

@@ -40,6 +40,11 @@ type t = {
       (** refuse to load a module with error-severity static-checker
           findings (annotation lint + capability-flow); off by default —
           the checker is load-time only and must not perturb benchmarks *)
+  flow_integrity : bool;
+      (** enforce syscall-flow integrity: advance a per-principal flow
+          automaton at kexport calls within kernel-entered activations
+          and raise [Flow_violation] on an off-graph transition
+          (Lxfi mode only) *)
 }
 
 let lxfi =
@@ -53,6 +58,7 @@ let lxfi =
     escalate_window = 1_000_000;
     watchdog_fuel = None;
     strict_check = false;
+    flow_integrity = true;
   }
 
 let stock = { lxfi with mode = Stock }

@@ -34,6 +34,11 @@ type t = {
       (** refuse to load a module with error-severity static-checker
           findings; off in every preset (the checker is load-time only
           and must not perturb benchmarks) *)
+  flow_integrity : bool;
+      (** enforce syscall-flow integrity (Lxfi mode only): an
+          off-graph kexport call within a kernel-entered activation
+          raises [Flow_violation]; on in every preset — a faithfully
+          executed module can never leave its own may-follow graph *)
 }
 
 val lxfi : t

@@ -103,6 +103,23 @@ let load (rt : Runtime.t) (prog : Mir.Ast.prog) : Runtime.module_info * Rewriter
           prog.Mir.Ast.pname (List.length errs)
           (Check.Finding.to_string first)
   end;
+  (* Syscall-flow policy: a registered (audited) graph wins; otherwise
+     self-extract from the pristine MIR, before instrumentation adds
+     guard statements.  A faithfully executed module can never leave
+     its self-extracted may-follow graph, so self-extraction costs no
+     false positives; a registered graph is how skew between audited
+     code and loaded binary becomes detectable. *)
+  let flow =
+    if
+      rt.Runtime.config.Config.mode = Config.Lxfi
+      && rt.Runtime.config.Config.flow_integrity
+    then
+      Some
+        (match Hashtbl.find_opt rt.Runtime.flow_graphs prog.Mir.Ast.pname with
+        | Some g -> g
+        | None -> Check.Apiflow.extract (check_env rt) prog)
+    else None
+  in
   let prog, report = Rewriter.instrument rt.Runtime.config prog in
   let mname = prog.Mir.Ast.pname in
 
@@ -200,6 +217,7 @@ let load (rt : Runtime.t) (prog : Mir.Ast.prog) : Runtime.module_info * Rewriter
       mi_recent_violations = [];
       mi_recent_kinds = [];
       mi_last_entry = None;
+      mi_flow = flow;
     }
   in
 

@@ -22,6 +22,13 @@ type t = {
   mutable quarantined : string option;
       (** quarantine reason; a quarantined principal holds no
           capabilities and cannot be selected for entry *)
+  mutable flow_pos : string option;
+      (** flow-automaton position: the last kexport this principal
+          called, or [None] for the start state *)
+  mutable flow_depth : int;
+      (** nesting depth of kernel-entered activations running as this
+          principal (used to save/restore [flow_pos] around nested
+          entries) *)
 }
 
 let counter = ref 0
@@ -29,7 +36,7 @@ let counter = ref 0
 let make ~kind ~owner ~primary_name =
   incr counter;
   { id = !counter; kind; owner; primary_name; caps = Captable.create ();
-    quarantined = None }
+    quarantined = None; flow_pos = None; flow_depth = 0 }
 
 let describe t =
   match t.kind with

@@ -63,6 +63,10 @@ type module_info = {
       (** innermost kernel→module entry (function, args) — recorded by
           the quarantine dispatcher so a faulting entry can be replayed
           against a repaired instance *)
+  mutable mi_flow : Check.Apiflow.graph option;
+      (** enforced kernel-API flow graph (set by the loader under
+          [flow_integrity]: a registered policy graph if one exists,
+          else self-extracted from the pristine MIR) *)
 }
 
 (** The capability shapes an iterator can yield — static metadata used
@@ -89,6 +93,9 @@ type t = {
   modules : (string, module_info) Hashtbl.t;
   kexports : (string, kexport) Hashtbl.t;
   kexport_by_addr : (int, kexport) Hashtbl.t;
+  flow_graphs : (string, Check.Apiflow.graph) Hashtbl.t;
+      (** registered flow policies by module name; a module with no
+          entry self-extracts its graph at load time *)
   iterators : (string, t -> int64 list -> Capability.t list) Hashtbl.t;
   iterator_shapes : (string, cap_shape list) Hashtbl.t;
       (** declared yield shapes per iterator; an iterator with no entry
@@ -152,6 +159,7 @@ let create ~kst ~(config : Config.t) =
       modules = Hashtbl.create 16;
       kexports = Hashtbl.create 64;
       kexport_by_addr = Hashtbl.create 64;
+      flow_graphs = Hashtbl.create 8;
       iterators = Hashtbl.create 16;
       iterator_shapes = Hashtbl.create 16;
       func_ahash_by_addr = Hashtbl.create 64;
@@ -246,6 +254,15 @@ let register_kexport_src rt ~name ~params ~annot_src impl :
 
 let register_kexport_exn rt ~name ~params ~annot_src impl =
   Annot.Registry.ok_exn (register_kexport_src rt ~name ~params ~annot_src impl)
+
+(** [register_flow_graph rt ~module_ g] installs [g] as the flow policy
+    the next load of [module_] will enforce, instead of self-extracting
+    a graph from the loaded MIR.  This is how an audited benign graph
+    can be pinned while a (possibly tampered) binary is loaded — the
+    SFIP threat model, and what the fuzz harness's flow-class mutants
+    exercise. *)
+let register_flow_graph rt ~module_ (g : Check.Apiflow.graph) =
+  Hashtbl.replace rt.flow_graphs module_ g
 
 let register_iterator ?shapes rt ~name fn =
   Hashtbl.replace rt.iterators name fn;
@@ -527,6 +544,32 @@ let call_kexport rt (ke : kexport) args =
             | Some mi -> mi
             | None -> invalid_arg "current principal belongs to unknown module"
           in
+          (* Syscall-flow integrity: advance the caller principal's flow
+             automaton, or fault.  Enforced only within kernel-entered
+             activations (an enclosing wrapper frame exists) so that bare
+             harness calls carry no flow state; checked before
+             [entry_guard] so a flow violation perturbs no other
+             counter and charges no cycles. *)
+          (if
+             rt.config.Config.mode = Config.Lxfi
+             && rt.config.Config.flow_integrity
+             && Shadow_stack.depth rt.sstack > 0
+           then
+             match mi.mi_flow with
+             | None -> ()
+             | Some g ->
+                 let pos = mp.Principal.flow_pos in
+                 if Check.Apiflow.permits g ~pos ke.ke_name then
+                   mp.Principal.flow_pos <- Some ke.ke_name
+                 else begin
+                   rt.stats.Stats.flow_violations <-
+                     rt.stats.Stats.flow_violations + 1;
+                   Violation.raise_ ~principal:mp ?where:(where_of mi)
+                     ~kind:Violation.Flow_violation ~module_:mi.mi_name
+                     "call to %s is off the module's flow graph (position: %s)"
+                     ke.ke_name
+                     (match pos with None -> "(start)" | Some p -> p)
+                 end);
           entry_guard rt;
           if !Trace.on then Trace.emit (Trace.Span_begin (Trace.M2k, ke.ke_name));
           let token =
@@ -604,6 +647,26 @@ let invoke_module_function rt mi fname args =
           let wrapper = mi.mi_name ^ ":" ^ fname in
           if !Trace.on then Trace.emit (Trace.Span_begin (Trace.K2m, wrapper));
           let token = Shadow_stack.push rt.sstack ~wrapper ~saved_principal:rt.current in
+          (* Flow-automaton bookkeeping for this activation: (principal,
+             saved position, saved nesting depth).  A top-level entry
+             continues from the principal's at-rest position (so the
+             graph's boundary edges check the cross-activation step); a
+             nested re-entry of an in-flight principal starts fresh and
+             the outer position is restored on exit.  An aborted
+             activation resets to start — a contained fault must not
+             leave a position later calls would be judged against. *)
+          let flow_saved = ref None in
+          let flow_exit ~ok =
+            match !flow_saved with
+            | None -> ()
+            | Some ((callee : Principal.t), pos, depth) ->
+                callee.Principal.flow_depth <- depth;
+                if not ok then begin
+                  callee.Principal.flow_pos <- None;
+                  mi.mi_global.Principal.flow_pos <- None
+                end
+                else if depth > 0 then callee.Principal.flow_pos <- pos
+          in
           let run () =
             let env = { params = slot.Annot.Registry.sl_params; args; ret = None } in
             let callee = select_principal rt mi slot env in
@@ -614,6 +677,14 @@ let invoke_module_function rt mi fname args =
                   reason
             | None -> ());
             rt.last_callee <- Some callee;
+            if rt.config.Config.mode = Config.Lxfi && rt.config.Config.flow_integrity
+            then begin
+              flow_saved :=
+                Some (callee, callee.Principal.flow_pos, callee.Principal.flow_depth);
+              if callee.Principal.flow_depth > 0 then
+                callee.Principal.flow_pos <- None;
+              callee.Principal.flow_depth <- callee.Principal.flow_depth + 1
+            end;
             (* Arm the per-entry watchdog: the budget is per kernel→module
                crossing, so a wedged entry point expires instead of
                soft-locking the simulation. *)
@@ -638,11 +709,13 @@ let invoke_module_function rt mi fname args =
           in
           (match run () with
           | ret ->
+              flow_exit ~ok:true;
               rt.current <- Shadow_stack.pop rt.sstack ~wrapper ~token;
               if !Trace.on then Trace.emit (Trace.Span_end (Trace.K2m, wrapper));
               exit_guard rt;
               ret
           | exception e ->
+              flow_exit ~ok:false;
               rt.current <- Shadow_stack.pop rt.sstack ~wrapper ~token;
               if !Trace.on then Trace.emit (Trace.Span_end (Trace.K2m, wrapper));
               raise e))
@@ -820,11 +893,16 @@ let lxfi_princ_alias rt ~existing ~fresh =
     when the enclosing wrapper returns. *)
 let lxfi_switch_global rt =
   if rt.config.Config.mode = Config.Lxfi then begin
-    let _, mi = require_current_mi rt ~who:"lxfi_switch_global" in
+    let p, mi = require_current_mi rt ~who:"lxfi_switch_global" in
     rt.stats.Stats.principal_switches <- rt.stats.Stats.principal_switches + 1;
     charge rt Cost.principal_switch;
     if !Trace.on then
       Trace.emit (Trace.Switch (Principal.describe mi.mi_global));
+    (* The activation's kernel-API sequence continues under the global
+       principal: carry the flow position across the switch so the
+       automaton still sees one consecutive sequence. *)
+    if p != mi.mi_global then
+      mi.mi_global.Principal.flow_pos <- p.Principal.flow_pos;
     rt.current <- Some mi.mi_global
   end
 

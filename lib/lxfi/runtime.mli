@@ -52,6 +52,10 @@ type module_info = {
   mutable mi_last_entry : (string * int64 list) option;
       (** innermost kernel→module entry (function, args), recorded by
           the quarantine dispatcher for replay after repair *)
+  mutable mi_flow : Check.Apiflow.graph option;
+      (** enforced kernel-API flow graph (set by the loader under
+          [flow_integrity]: a registered policy graph if one exists,
+          else self-extracted from the pristine MIR) *)
 }
 (** Everything the runtime knows about one loaded module. *)
 
@@ -78,6 +82,9 @@ type t = {
   modules : (string, module_info) Hashtbl.t;
   kexports : (string, kexport) Hashtbl.t;
   kexport_by_addr : (int, kexport) Hashtbl.t;
+  flow_graphs : (string, Check.Apiflow.graph) Hashtbl.t;
+      (** registered flow policies by module name; a module with no
+          entry self-extracts its graph at load time *)
   iterators : (string, t -> int64 list -> Capability.t list) Hashtbl.t;
   iterator_shapes : (string, cap_shape list) Hashtbl.t;
       (** declared yield shapes per iterator; no entry = all shapes *)
@@ -164,6 +171,12 @@ val register_kexport_exn :
 (** [register_kexport_src] + {!Annot.Registry.ok_exn} — for boot-time
     registration where a bad built-in annotation is a programming
     bug. *)
+
+val register_flow_graph : t -> module_:string -> Check.Apiflow.graph -> unit
+(** Pin the flow policy the next load of [module_] enforces, instead of
+    self-extracting a graph from the loaded MIR — how an audited benign
+    graph is held against a possibly-tampered binary (the SFIP threat
+    model; the fuzz harness's flow-class mutants use exactly this). *)
 
 val register_iterator :
   ?shapes:cap_shape list ->

@@ -33,6 +33,7 @@ type pstate = {
   ps_name : int;  (** primary name pointer; 0 for shared/global *)
   ps_desc : string;  (** [Principal.describe] — the stable sort key *)
   ps_quarantined : string option;
+  ps_flow : string option;  (** flow-automaton position at capture *)
   ps_writes : (int * int) list;  (** sorted (base, size) *)
   ps_calls : int list;  (** sorted targets *)
   ps_refs : (string * int) list;  (** sorted (rtype, addr) *)
@@ -95,6 +96,7 @@ let capture_principal (p : Principal.t) : pstate =
     ps_name = p.Principal.primary_name;
     ps_desc = Principal.describe p;
     ps_quarantined = p.Principal.quarantined;
+    ps_flow = p.Principal.flow_pos;
     ps_writes = writes;
     ps_calls = calls;
     ps_refs = refs;
@@ -191,6 +193,17 @@ let readd_caps rt (p : Principal.t) (ps : pstate) =
     (fun (rtype, addr) -> Captable.add_ref p.Principal.caps ~rtype ~addr)
     ps.ps_refs
 
+(* A restored flow position is re-validated against the target
+   module's enforced graph: a position the new graph does not even
+   contain resets to start (mirroring the upgrade rule that stale
+   grants drop).  With no graph to validate against, the captured
+   position is kept verbatim so capture/restore round-trips. *)
+let flow_of_pstate (mi : Runtime.module_info) (ps : pstate) : string option =
+  match (ps.ps_flow, mi.Runtime.mi_flow) with
+  | None, _ -> None
+  | Some k, None -> Some k
+  | Some k, Some g -> if Check.Apiflow.has_node g k then Some k else None
+
 let restore_global rt (mi : Runtime.module_info) (gs : gstate) =
   if not gs.gs_funcptr then
     match Mir.Ast.find_global mi.Runtime.mi_prog gs.gs_name with
@@ -215,7 +228,8 @@ let restore (rt : Runtime.t) (mi : Runtime.module_info) (t : t) : unit =
       let p = principal_of_pstate rt mi ps in
       Captable.clear p.Principal.caps;
       readd_caps rt p ps;
-      p.Principal.quarantined <- ps.ps_quarantined)
+      p.Principal.quarantined <- ps.ps_quarantined;
+      p.Principal.flow_pos <- flow_of_pstate mi ps)
     t.sn_principals;
   List.iter (restore_global rt mi) t.sn_globals
 
@@ -244,6 +258,7 @@ let restore_filtered (rt : Runtime.t) (mi : Runtime.module_info) (t : t)
           dropped := !dropped + ncaps ps
         else begin
           let p = principal_of_pstate rt mi ps in
+          p.Principal.flow_pos <- flow_of_pstate mi ps;
           List.iter
             (fun (base, size) ->
               let keep = f.keep_write ~base ~size in
@@ -289,9 +304,10 @@ let render_lines (t : t) : string list =
     ]
   in
   let principal_lines ps =
-    line "principal %s kind=%s name=0x%x quarantined=%s" ps.ps_desc
+    line "principal %s kind=%s name=0x%x quarantined=%s flow=%s" ps.ps_desc
       (kind_name ps.ps_kind) ps.ps_name
       (Option.value ~default:"-" ps.ps_quarantined)
+      (Option.value ~default:"-" ps.ps_flow)
     :: List.map (fun (b, s) -> line "  write 0x%x+%d" b s) ps.ps_writes
     @ List.map (fun c -> line "  call 0x%x" c) ps.ps_calls
     @ List.map (fun (r, a) -> line "  ref %s@0x%x" r a) ps.ps_refs
@@ -309,13 +325,14 @@ let render_lines (t : t) : string list =
   let stats_line =
     line
       "stats annot=%d entry=%d exit=%d wcheck=%d mind=%d kall=%d kchk=%d kel=%d \
-       grant=%d revoke=%d switch=%d viol=%d quar=%d esc=%d wdog=%d drop=%d"
+       grant=%d revoke=%d switch=%d viol=%d quar=%d esc=%d wdog=%d flow=%d drop=%d"
       s.Stats.s_annotation_actions s.Stats.s_fn_entry s.Stats.s_fn_exit
       s.Stats.s_mem_write_checks s.Stats.s_mod_indcall_checks
       s.Stats.s_kernel_indcall_all s.Stats.s_kernel_indcall_checked
       s.Stats.s_kernel_indcall_elided s.Stats.s_caps_granted s.Stats.s_caps_revoked
       s.Stats.s_principal_switches s.Stats.s_violations s.Stats.s_quarantines
-      s.Stats.s_escalations s.Stats.s_watchdog_expiries s.Stats.s_caps_dropped
+      s.Stats.s_escalations s.Stats.s_watchdog_expiries s.Stats.s_flow_violations
+      s.Stats.s_caps_dropped
   in
   header
   @ List.concat_map principal_lines t.sn_principals

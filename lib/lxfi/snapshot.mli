@@ -14,6 +14,7 @@ type pstate = {
   ps_name : int;  (** primary name pointer; 0 for shared/global *)
   ps_desc : string;  (** [Principal.describe] — the stable sort key *)
   ps_quarantined : string option;
+  ps_flow : string option;  (** flow-automaton position at capture *)
   ps_writes : (int * int) list;  (** sorted (base, size) *)
   ps_calls : int list;  (** sorted targets *)
   ps_refs : (string * int) list;  (** sorted (rtype, addr) *)

@@ -21,6 +21,7 @@ type t = {
   mutable quarantines : int;  (** principals quarantined *)
   mutable escalations : int;  (** whole-module unloads after repeat offenses *)
   mutable watchdog_expiries : int;
+  mutable flow_violations : int;  (** kernel-API calls denied by the flow automaton *)
   mutable caps_dropped : int;  (** grants suppressed by fault injection *)
   violations_by_module : (string, int) Hashtbl.t;
 }
@@ -42,6 +43,7 @@ let create () =
     quarantines = 0;
     escalations = 0;
     watchdog_expiries = 0;
+    flow_violations = 0;
     caps_dropped = 0;
     violations_by_module = Hashtbl.create 8;
   }
@@ -62,6 +64,7 @@ let reset t =
   t.quarantines <- 0;
   t.escalations <- 0;
   t.watchdog_expiries <- 0;
+  t.flow_violations <- 0;
   t.caps_dropped <- 0;
   Hashtbl.reset t.violations_by_module
 
@@ -91,6 +94,7 @@ type snapshot = {
   s_quarantines : int;
   s_escalations : int;
   s_watchdog_expiries : int;
+  s_flow_violations : int;
   s_caps_dropped : int;
 }
 
@@ -111,6 +115,7 @@ let snapshot t =
     s_quarantines = t.quarantines;
     s_escalations = t.escalations;
     s_watchdog_expiries = t.watchdog_expiries;
+    s_flow_violations = t.flow_violations;
     s_caps_dropped = t.caps_dropped;
   }
 
@@ -131,6 +136,7 @@ let since t s =
     s_quarantines = t.quarantines - s.s_quarantines;
     s_escalations = t.escalations - s.s_escalations;
     s_watchdog_expiries = t.watchdog_expiries - s.s_watchdog_expiries;
+    s_flow_violations = t.flow_violations - s.s_flow_violations;
     s_caps_dropped = t.caps_dropped - s.s_caps_dropped;
   }
 
@@ -138,8 +144,8 @@ let pp ppf t =
   Fmt.pf ppf
     "guards{annot=%d; entry=%d; exit=%d; wcheck=%d; mod-ind=%d; kind=%d \
      (checked=%d elided=%d); grant=%d; revoke=%d; switch=%d; viol=%d; \
-     quarantine=%d; escalate=%d; watchdog=%d; dropped=%d}"
+     quarantine=%d; escalate=%d; watchdog=%d; flow=%d; dropped=%d}"
     t.annotation_actions t.fn_entry t.fn_exit t.mem_write_checks t.mod_indcall_checks
     t.kernel_indcall_all t.kernel_indcall_checked t.kernel_indcall_elided t.caps_granted
     t.caps_revoked t.principal_switches t.violations t.quarantines t.escalations
-    t.watchdog_expiries t.caps_dropped
+    t.watchdog_expiries t.flow_violations t.caps_dropped

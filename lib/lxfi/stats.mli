@@ -20,6 +20,7 @@ type t = {
   mutable quarantines : int;  (** principals quarantined *)
   mutable escalations : int;  (** whole-module unloads after repeat offenses *)
   mutable watchdog_expiries : int;
+  mutable flow_violations : int;  (** kernel-API calls denied by the flow automaton *)
   mutable caps_dropped : int;  (** grants suppressed by fault injection *)
   violations_by_module : (string, int) Hashtbl.t;
 }
@@ -49,6 +50,7 @@ type snapshot = {
   s_quarantines : int;
   s_escalations : int;
   s_watchdog_expiries : int;
+  s_flow_violations : int;
   s_caps_dropped : int;
 }
 

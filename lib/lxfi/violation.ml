@@ -15,6 +15,7 @@ type kind =
   | Shadow_stack  (** return address or principal stack corrupted *)
   | Principal_denied  (** privileged principal operation without standing *)
   | Watchdog_expired  (** module entry exceeded its fuel budget *)
+  | Flow_violation  (** kernel-API call outside the module's flow graph *)
 
 let all_kinds =
   [
@@ -26,6 +27,7 @@ let all_kinds =
     Shadow_stack;
     Principal_denied;
     Watchdog_expired;
+    Flow_violation;
   ]
 
 let kind_name = function
@@ -37,8 +39,20 @@ let kind_name = function
   | Shadow_stack -> "shadow-stack"
   | Principal_denied -> "principal-denied"
   | Watchdog_expired -> "watchdog-expired"
+  | Flow_violation -> "flow-violation"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
+(** Figure 13 row title accounting for a kind.  Exhaustive on purpose:
+    adding a [kind] without deciding its counter row is a compile error,
+    and the tests assert every row title actually appears in the
+    table. *)
+let counter_row = function
+  | Write_denied | Call_denied | Ref_denied | Cap_not_owned | Annot_mismatch
+  | Shadow_stack | Principal_denied ->
+      "Violations"
+  | Watchdog_expired -> "Watchdog expiries"
+  | Flow_violation -> "Flow violations"
 
 type info = {
   v_kind : kind;

@@ -13,6 +13,7 @@ type kind =
   | Shadow_stack  (** return address or principal stack corrupted *)
   | Principal_denied  (** privileged principal operation without standing *)
   | Watchdog_expired  (** module entry exceeded its fuel budget *)
+  | Flow_violation  (** kernel-API call outside the module's flow graph *)
 
 val all_kinds : kind list
 (** Every violation class, in declaration order. *)
@@ -22,6 +23,12 @@ val kind_name : kind -> string
 val kind_of_name : string -> kind option
 (** Inverse of {!kind_name} (the names appear in corpus [expect:]
     directives and JSON reports). *)
+
+val counter_row : kind -> string
+(** The Figure 13 row title under which this kind is accounted
+    ("Violations", "Watchdog expiries", "Flow violations", ...).
+    Exhaustive: a new kind cannot compile without a row decision, and
+    the stats tests assert the row exists in the table. *)
 
 type info = {
   v_kind : kind;

@@ -107,6 +107,7 @@ let of_stats (s : Lxfi.Stats.snapshot) : t =
       ("quarantines", Int s.Lxfi.Stats.s_quarantines);
       ("escalations", Int s.Lxfi.Stats.s_escalations);
       ("watchdog_expiries", Int s.Lxfi.Stats.s_watchdog_expiries);
+      ("flow_violations", Int s.Lxfi.Stats.s_flow_violations);
       ("caps_dropped", Int s.Lxfi.Stats.s_caps_dropped);
     ]
 

@@ -371,6 +371,11 @@ let figure13 ?(pkts = 4000) () : guard_row list * measure =
         g_per_packet = per s.Lxfi.Stats.s_caps_dropped;
         g_paper_per_packet = Float.nan;
       };
+      {
+        g_type = "Flow violations";
+        g_per_packet = per s.Lxfi.Stats.s_flow_violations;
+        g_paper_per_packet = Float.nan;
+      };
     ],
     m )
 

@@ -246,6 +246,94 @@ let test_propagation () =
   Alcotest.(check bool) "is an error" true (List.exists F.is_error fs)
 
 (* ------------------------------------------------------------------ *)
+(* Syscall-flow extraction (apiflow)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let flow_kexports names =
+  List.map
+    (fun n -> { Check.Env.kx_name = n; kx_params = [ "a" ]; kx_annot = parse "" })
+    names
+
+let flow_env () =
+  let _, env =
+    mk_env
+      ~kexports:
+        (flow_kexports
+           [ "kmalloc"; "kfree"; "spin_lock"; "spin_unlock"; "spin_lock_init" ])
+      ()
+  in
+  env
+
+let test_flow_graph_shape () =
+  let open Mir.Builder in
+  let p =
+    prog "m" ~imports:[ "kmalloc"; "kfree" ] ~globals:[]
+      ~funcs:
+        [
+          func "f" [ "n" ]
+            [
+              let_ "p" (call_ext "kmalloc" [ v "n" ]);
+              expr (call_ext "kfree" [ v "p" ]);
+              ret0;
+            ];
+        ]
+  in
+  let g = Check.Apiflow.extract (flow_env ()) p in
+  Alcotest.(check (list string)) "nodes" [ "kfree"; "kmalloc" ] g.Check.Apiflow.g_nodes;
+  Alcotest.(check (list string)) "start" [ "kmalloc" ] g.Check.Apiflow.g_start;
+  (* (kmalloc, kfree) within the entry; (kfree, kmalloc) across the
+     entry boundary (a kernel may re-enter the module) *)
+  Alcotest.(check bool) "intra edge" true
+    (Check.Apiflow.permits g ~pos:(Some "kmalloc") "kfree");
+  Alcotest.(check bool) "boundary edge" true
+    (Check.Apiflow.permits g ~pos:(Some "kfree") "kmalloc");
+  Alcotest.(check bool) "kfree is not a start" false
+    (Check.Apiflow.permits g ~pos:None "kfree");
+  Alcotest.(check bool) "no kfree -> kfree edge" false
+    (Check.Apiflow.permits g ~pos:(Some "kfree") "kfree");
+  Alcotest.(check bool) "has_node" true (Check.Apiflow.has_node g "kmalloc");
+  Alcotest.(check bool) "foreign node" false (Check.Apiflow.has_node g "vmalloc")
+
+let test_flow_undefined_callee () =
+  let open Mir.Builder in
+  let p =
+    prog "m" ~imports:[] ~globals:[]
+      ~funcs:[ func "f" [ "n" ] [ let_ "x" (call "nope" [ v "n" ]); ret (v "x") ] ]
+  in
+  let fs = Check.Apiflow.check_module (flow_env ()) p in
+  Alcotest.(check bool) "flow-extraction error" true (has_rule "flow-extraction" fs);
+  Alcotest.(check bool) "is an error" true (List.exists F.is_error fs)
+
+(* Extraction soundness on the fuzzer's well-behaved modules: the
+   loader self-extracts this graph under [flow_integrity] and the
+   runtime automaton checks every kernel-API call against it, so any
+   false rejection surfaces as a violation outcome in the clean drive.
+   Determinism: two independent extractions render byte-identically. *)
+let prop_flow_soundness =
+  QCheck.Test.make ~count:25
+    ~name:"flow graph accepts every clean run; extraction deterministic"
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let case = Fuzz.Gen.case_of_rand (Fuzz.Rng.rand (Fuzz.Rng.create ~seed)) in
+      let render () =
+        Check.Apiflow.render (Check.Apiflow.extract (flow_env ()) case.Fuzz.Gen.c_prog)
+      in
+      if render () <> render () then
+        QCheck.Test.fail_report "extraction is not deterministic";
+      (match Fuzz.Harness.clean_sig_under Lxfi.Config.lxfi case with
+      | Error m -> QCheck.Test.fail_reportf "setup: %s" m
+      | Ok s ->
+          List.iter
+            (fun (name, o) ->
+              match o with
+              | Fuzz.Harness.Oviolation k ->
+                  QCheck.Test.fail_reportf "%s: clean run rejected as %s" name
+                    (Lxfi.Violation.kind_name k)
+              | Fuzz.Harness.Oval _ | Fuzz.Harness.Oexn _ -> ())
+            s.Fuzz.Harness.s_outcomes);
+      true)
+
+(* ------------------------------------------------------------------ *)
 (* Catalog acceptance                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -319,6 +407,12 @@ let () =
           Alcotest.test_case "use after transfer" `Quick test_use_after_transfer;
           Alcotest.test_case "over-privilege + arity" `Quick test_over_privilege_and_arity;
           Alcotest.test_case "propagation errors" `Quick test_propagation;
+        ] );
+      ( "apiflow",
+        [
+          Alcotest.test_case "graph shape" `Quick test_flow_graph_shape;
+          Alcotest.test_case "undefined callee" `Quick test_flow_undefined_callee;
+          QCheck_alcotest.to_alcotest prop_flow_soundness;
         ] );
       ( "acceptance",
         [

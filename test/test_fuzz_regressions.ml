@@ -22,7 +22,9 @@ let read_file path = In_channel.with_open_text path In_channel.input_all
 
 let test_corpus_replay () =
   let files = corpus_files () in
-  Alcotest.(check bool) "corpus is not empty" true (List.length files >= 11);
+  (* one attack exemplar per mutation class plus the clean exemplar *)
+  Alcotest.(check bool) "corpus covers every class" true
+    (List.length files >= List.length Fuzz.Mutate.all + 1);
   List.iter
     (fun f ->
       let src = read_file (Filename.concat corpus_dir f) in
@@ -40,6 +42,36 @@ let test_corpus_covers_all_classes () =
       let expected = Printf.sprintf "attack_%s.mir" (Fuzz.Mutate.name cls) in
       Alcotest.(check bool) expected true (List.mem expected files))
     Fuzz.Mutate.all
+
+(* Differential control for the flow class: the mutant raises
+   flow-violation under the registered benign policy, and the same
+   module with its kernel-API calls reordered back runs clean under
+   that very policy — the guard rejects the ordering, not the calls. *)
+let test_flow_reorder_differential () =
+  let canary = Fuzz.Harness.canary_addr_of Fuzz.Harness.mutant_config in
+  let rng = Fuzz.Rng.create ~seed:11 in
+  let case = Fuzz.Gen.case_of_rand (Fuzz.Rng.rand rng) in
+  let m =
+    Fuzz.Mutate.apply ~canary_addr:canary Fuzz.Mutate.Flow_reorder case.Fuzz.Gen.c_prog
+  in
+  let inputs = case.Fuzz.Gen.c_inputs in
+  (match
+     Fuzz.Harness.run_violation_repro m.Fuzz.Mutate.m_prog m.Fuzz.Mutate.m_drive
+       ~inputs ~expect:Lxfi.Violation.Flow_violation
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "flow mutant not detected: %s" e);
+  let benign =
+    { m with Fuzz.Mutate.m_prog = Fuzz.Mutate.benign_of m.Fuzz.Mutate.m_prog }
+  in
+  match Fuzz.Harness.run_mutant benign ~inputs with
+  | Error e -> Alcotest.failf "reordered-back control setup: %s" e
+  | Ok r -> (
+      match r.Fuzz.Harness.mr_outcome with
+      | Fuzz.Harness.Oval _ -> ()
+      | o ->
+          Alcotest.failf "reordered-back control raised %s"
+            (Fuzz.Harness.outcome_string o))
 
 let test_smoke_campaign () =
   let r = Fuzz.Campaign.run ~seed:7 ~runs:25 () in
@@ -127,6 +159,8 @@ let () =
         [
           Alcotest.test_case "replay" `Quick test_corpus_replay;
           Alcotest.test_case "covers all classes" `Quick test_corpus_covers_all_classes;
+          Alcotest.test_case "flow-reorder differential control" `Quick
+            test_flow_reorder_differential;
         ] );
       ( "campaign",
         [

@@ -114,6 +114,63 @@ let test_diff_markers () =
         && (String.sub l 0 2 = "- " || String.sub l 0 2 = "+ ")))
     d
 
+(* Hot upgrade re-validates the restored flow-automaton position
+   against the new version's (possibly narrower) flow graph: a
+   position naming a kexport the new graph no longer contains is stale
+   and must drop to the automaton start — mirroring the grant-shrinking
+   rule for restored WRITE capabilities. *)
+let flow_slot = "flow.entry"
+
+let flow_prog ~with_kfree =
+  let open Mir.Builder in
+  let tail =
+    if with_kfree then [ expr (call_ext "kfree" [ v "p" ]); ret0 ] else [ ret0 ]
+  in
+  prog "flowmod" ~imports:[ "kmalloc"; "kfree" ] ~globals:[]
+    ~funcs:
+      [
+        func "module_init" [] [ ret0 ];
+        func "entry" [ "n" ]
+          ([ let_ "p" (call_ext "kmalloc" [ ii 32 ]); when_ (v "p" ==: ii 0) [ ret0 ] ]
+          @ tail)
+          ~export:flow_slot;
+      ]
+
+let test_upgrade_revalidates_flow_position () =
+  let sys = Kmodules.Ksys.boot Lxfi.Config.lxfi in
+  let rt = sys.Kmodules.Ksys.rt in
+  ignore
+    (Annot.Registry.define_exn rt.Lxfi.Runtime.registry ~name:flow_slot
+       ~params:[ "n" ] ~annot_src:""
+      : Annot.Registry.slot);
+  let drive mi =
+    ignore (Lxfi.Runtime.invoke_module_function rt mi "entry" [ 1L ] : int64)
+  in
+  (* v1 ends every entry at kfree: the at-rest automaton position *)
+  let mi, _ = Kmodules.Ksys.load sys (flow_prog ~with_kfree:true) in
+  ignore (Lxfi.Loader.init_call rt mi "module_init" [] : int64);
+  drive mi;
+  Alcotest.(check (option string))
+    "at-rest position is kfree" (Some "kfree")
+    mi.Lxfi.Runtime.mi_shared.Lxfi.Principal.flow_pos;
+  (* same-shape upgrade: the new graph still has the node, so the
+     captured mid-sequence position survives the restore *)
+  let mi2, _, _ = Lxfi.Loader.upgrade rt mi (flow_prog ~with_kfree:true) in
+  Alcotest.(check (option string))
+    "compatible upgrade keeps the position" (Some "kfree")
+    mi2.Lxfi.Runtime.mi_shared.Lxfi.Principal.flow_pos;
+  (* narrower upgrade: kfree is gone from the new version's graph, so
+     the restored position is stale and must drop *)
+  let mi3, _, _ = Lxfi.Loader.upgrade rt mi2 (flow_prog ~with_kfree:false) in
+  Alcotest.(check (option string))
+    "narrower upgrade drops the stale position" None
+    mi3.Lxfi.Runtime.mi_shared.Lxfi.Principal.flow_pos;
+  (* and the automaton restarts cleanly from the start set *)
+  drive mi3;
+  Alcotest.(check (option string))
+    "post-upgrade traffic re-advances from start" (Some "kmalloc")
+    mi3.Lxfi.Runtime.mi_shared.Lxfi.Principal.flow_pos
+
 let () =
   Kernel_sim.Klog.quiet ();
   Alcotest.run "snapshot"
@@ -126,4 +183,9 @@ let () =
             prop_diff_empty_iff_equal;
           ] );
       ("diff", [ Alcotest.test_case "side markers" `Quick test_diff_markers ]);
+      ( "lifecycle",
+        [
+          Alcotest.test_case "upgrade re-validates flow position" `Quick
+            test_upgrade_revalidates_flow_position;
+        ] );
     ]

@@ -56,6 +56,9 @@ let counters :
     ( "watchdog_expiries",
       (fun t -> t.Stats.watchdog_expiries <- t.Stats.watchdog_expiries + 1),
       fun s -> s.Stats.s_watchdog_expiries );
+    ( "flow_violations",
+      (fun t -> t.Stats.flow_violations <- t.Stats.flow_violations + 1),
+      fun s -> s.Stats.s_flow_violations );
     ( "caps_dropped",
       (fun t -> t.Stats.caps_dropped <- t.Stats.caps_dropped + 1),
       fun s -> s.Stats.s_caps_dropped );
@@ -120,6 +123,87 @@ let test_counter_coverage () =
     (fun (name, _, read) -> Alcotest.(check int) name 1 (read s))
     counters
 
+(* ---- violation-kind exhaustiveness guard ---------------------------
+
+   Every [Violation.kind] must be threaded through four places: the
+   [all_kinds] enumeration, the [kind_name]/[kind_of_name] pair, a
+   [counter_row] decision whose title exists as a Figure 13 row, and
+   [to_diag]'s rendering.  The matches below are wildcard-free and
+   warning 8 is an error in the dev profile, so adding a kind breaks
+   this test's build outright; the assertions then catch each way the
+   fix could stay incomplete. *)
+
+let ordinal : Violation.kind -> int = function
+  | Violation.Write_denied -> 0
+  | Violation.Call_denied -> 1
+  | Violation.Ref_denied -> 2
+  | Violation.Cap_not_owned -> 3
+  | Violation.Annot_mismatch -> 4
+  | Violation.Shadow_stack -> 5
+  | Violation.Principal_denied -> 6
+  | Violation.Watchdog_expired -> 7
+  | Violation.Flow_violation -> 8
+
+(* bump together with the new [ordinal] arm *)
+let n_kinds =
+  match Violation.Write_denied with
+  | Violation.Write_denied | Violation.Call_denied | Violation.Ref_denied
+  | Violation.Cap_not_owned | Violation.Annot_mismatch | Violation.Shadow_stack
+  | Violation.Principal_denied | Violation.Watchdog_expired
+  | Violation.Flow_violation ->
+      9
+
+let test_kind_enumeration () =
+  Alcotest.(check int) "all_kinds lists every constructor" n_kinds
+    (List.length Violation.all_kinds);
+  Alcotest.(check (list int))
+    "all_kinds in declaration order, no duplicates"
+    (List.init n_kinds Fun.id)
+    (List.map ordinal Violation.all_kinds);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Violation.kind_name k ^ " round-trips through kind_of_name")
+        true
+        (Violation.kind_of_name (Violation.kind_name k) = Some k))
+    Violation.all_kinds
+
+let test_kind_counter_rows () =
+  let rows, _ = Workloads.Netperf_sim.figure13 ~pkts:100 () in
+  let titles = List.map (fun g -> g.Workloads.Netperf_sim.g_type) rows in
+  List.iter
+    (fun k ->
+      let row = Violation.counter_row k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s accounted under Figure 13 row %S"
+           (Violation.kind_name k) row)
+        true (List.mem row titles))
+    Violation.all_kinds
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_kind_diag_rendering () =
+  List.iter
+    (fun k ->
+      let d =
+        Violation.to_diag
+          {
+            Violation.v_kind = k;
+            v_module = "m";
+            v_principal = None;
+            v_where = None;
+            v_detail = "detail";
+          }
+      in
+      Alcotest.(check bool)
+        (Violation.kind_name k ^ " named in its diagnostic")
+        true
+        (contains ~needle:(Violation.kind_name k) d.Diag.d_message))
+    Violation.all_kinds
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -129,4 +213,11 @@ let () =
     [
       ("roundtrip", qsuite);
       ("coverage", [ Alcotest.test_case "every counter covered" `Quick test_counter_coverage ]);
+      ( "kinds",
+        [
+          Alcotest.test_case "enumeration + name round-trip" `Quick test_kind_enumeration;
+          Alcotest.test_case "every kind has a Figure 13 row" `Quick test_kind_counter_rows;
+          Alcotest.test_case "every kind renders in diagnostics" `Quick
+            test_kind_diag_rendering;
+        ] );
     ]
